@@ -1,0 +1,63 @@
+"""Simulator microbenchmarks: how fast does the substrate itself run?
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the discrete-event core and the kernel dispatch path — useful when
+optimizing the simulator, and a canary for accidental slowdowns.
+"""
+
+from repro import System
+from repro.kernel import Compute, SimThread
+from repro.sim import Simulator
+
+
+def test_event_queue_throughput(benchmark):
+    """Schedule-and-fire cost of bare simulator events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(5000):
+            sim.schedule(i * 1e-6, lambda: None)
+        sim.run()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 5000
+
+
+def test_kernel_timeslicing_throughput(benchmark):
+    """Dispatch + preemption cost: 8 threads timesharing 4 cores."""
+
+    def run():
+        system = System.build("2f-2s/8", seed=1)
+        for i in range(8):
+            system.kernel.spawn(SimThread(f"t{i}", _spin(2.8e9)))
+        return system.run()
+
+    elapsed = benchmark(run)
+    assert elapsed > 0
+
+
+def _spin(cycles):
+    yield Compute(cycles)
+
+
+def test_synchronization_throughput(benchmark):
+    """Lock/unlock round trips through the kernel."""
+    from repro.kernel import Lock, Mutex, Unlock
+
+    def run():
+        system = System.build("4f-0s", seed=1)
+        mutex = Mutex("m")
+
+        def body():
+            for _ in range(500):
+                yield Lock(mutex)
+                yield Compute(1000)
+                yield Unlock(mutex)
+
+        for i in range(4):
+            system.kernel.start(f"t{i}", body())
+        return system.run()
+
+    elapsed = benchmark(run)
+    assert elapsed > 0

@@ -1,0 +1,8 @@
+"""Regenerates Figure 1: SPECjbb predictability under two VMs/GCs."""
+
+from repro.experiments.figures import fig01_specjbb_predictability
+
+
+def test_fig01_specjbb_predictability(regenerate):
+    text = regenerate("fig01", fig01_specjbb_predictability)
+    assert "Figure 1(a)" in text and "Figure 1(b)" in text

@@ -1,0 +1,8 @@
+"""Regenerates Figure 2: SPECjbb scalability + asymmetry-aware kernel."""
+
+from repro.experiments.figures import fig02_specjbb_scalability
+
+
+def test_fig02_specjbb_scalability(regenerate):
+    text = regenerate("fig02", fig02_specjbb_scalability)
+    assert "Figure 2(a)" in text and "asymmetry-aware" in text

@@ -1,0 +1,8 @@
+"""Regenerates Figure 3: SPECjAppServer throughput and response times."""
+
+from repro.experiments.figures import fig03_jappserver
+
+
+def test_fig03_jappserver(regenerate):
+    text = regenerate("fig03", fig03_jappserver)
+    assert "Figure 3(a)" in text and "Figure 3(b)" in text

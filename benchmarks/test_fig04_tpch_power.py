@@ -1,0 +1,8 @@
+"""Regenerates Figure 4: TPC-H power run and query 3 runtimes."""
+
+from repro.experiments.figures import fig04_tpch
+
+
+def test_fig04_tpch_power(regenerate):
+    text = regenerate("fig04", fig04_tpch)
+    assert "Figure 4(a)" in text and "bimodal" in text

@@ -1,0 +1,9 @@
+"""Regenerates Figure 5: TPC-H parallelization/optimization degrees."""
+
+from repro.experiments.figures import fig05_tpch_tuning
+
+
+def test_fig05_tpch_tuning(regenerate):
+    text = regenerate("fig05", fig05_tpch_tuning)
+    assert "parallelization degree 8" in text
+    assert "optimization degree 2" in text

@@ -1,0 +1,8 @@
+"""Regenerates Figure 6: Apache light/heavy load and the two remedies."""
+
+from repro.experiments.figures import fig06_apache
+
+
+def test_fig06_apache(regenerate):
+    text = regenerate("fig06", fig06_apache)
+    assert "Figure 6(a)" in text and "fine-grained" in text

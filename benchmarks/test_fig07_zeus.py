@@ -1,0 +1,8 @@
+"""Regenerates Figure 7: Zeus under light and heavy load."""
+
+from repro.experiments.figures import fig07_zeus
+
+
+def test_fig07_zeus(regenerate):
+    text = regenerate("fig07", fig07_zeus)
+    assert "Figure 7(a)" in text and "Figure 7(b)" in text

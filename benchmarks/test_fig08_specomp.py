@@ -1,0 +1,9 @@
+"""Regenerates Figure 8: SPEC OMP reference and modified sources."""
+
+from repro.experiments.figures import fig08_specomp
+
+
+def test_fig08_specomp(regenerate):
+    text = regenerate("fig08", fig08_specomp)
+    assert "Figure 8(a)" in text and "Figure 8(b)" in text
+    assert "ammp" in text

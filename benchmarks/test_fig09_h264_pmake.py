@@ -1,0 +1,8 @@
+"""Regenerates Figure 9: H.264 encoding and PMAKE runtimes."""
+
+from repro.experiments.figures import fig09_h264_pmake
+
+
+def test_fig09_h264_pmake(regenerate):
+    text = regenerate("fig09", fig09_h264_pmake)
+    assert "H.264" in text and "PMAKE" in text

@@ -1,0 +1,9 @@
+"""Regenerates Figure 10: speedups over 0f-4s/8 with variability."""
+
+from repro.experiments.figures import fig10_summary
+
+
+def test_fig10_summary(regenerate):
+    text = regenerate("fig10", fig10_summary)
+    assert "speedup over 0f-4s/8" in text
+    assert "CoV" in text

@@ -1,0 +1,8 @@
+"""Regenerates Table 1: measured predictability/scalability verdicts."""
+
+from repro.experiments.figures import table1_summary
+
+
+def test_table1_summary(regenerate):
+    text = regenerate("table1", table1_summary)
+    assert "Table 1" in text and "Remedies" in text

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Duty-cycle sweep: asymmetry beyond the paper's /4 and /8 points.
+
+The paper's hardware supports seven modulation steps per processor
+(12.5% … 87.5%), but its evaluation only uses 25% and 12.5%.  This
+extension sweeps the full range on one core of a four-core machine and
+compares a statically parallelized program (slowest-core-bound) with a
+dynamically parallelized one (aggregate-power-bound), against the
+Amdahl ideal.
+"""
+
+from repro import System
+from repro.experiments.report import format_table
+from repro.machine import DEFAULT_FREQUENCY_HZ, Machine, MachineConfig
+from repro.runtime.openmp import Loop, LoopSchedule, OmpProgram, OmpTeam
+
+DUTIES = (1.0, 0.875, 0.75, 0.625, 0.5, 0.375, 0.25, 0.125)
+ITERATIONS = 128
+ITER_CYCLES = 4.0 * DEFAULT_FREQUENCY_HZ / ITERATIONS
+
+
+def measure(duty, schedule, chunk=None):
+    machine = Machine.custom([1.0, 1.0, 1.0, duty])
+    system = System(machine, seed=5)
+    team = OmpTeam(system)
+    program = OmpProgram([Loop(ITERATIONS, ITER_CYCLES,
+                               schedule=schedule, chunk=chunk)])
+    return team.execute(program)
+
+
+def main():
+    rows = []
+    for duty in DUTIES:
+        static = measure(duty, LoopSchedule.STATIC)
+        dynamic = measure(duty, LoopSchedule.DYNAMIC, chunk=2)
+        # Amdahl ideal for a pure-parallel program on 3 fast + 1 duty.
+        total_power = 3.0 + duty
+        ideal = 4.0 / total_power
+        rows.append([f"{duty:.3f}", f"{static:.2f}s", f"{dynamic:.2f}s",
+                     f"{ideal:.2f}s"])
+    print("One modulated core on a 4-core machine "
+          "(3 cores at 100%, one swept)\n")
+    print(format_table(
+        ["duty cycle", "static", "dynamic(2)", "ideal"], rows))
+    print("\nStatic degrades as 1/duty (the slow core gates the loop);"
+          "\ndynamic degrades only as the lost fraction of aggregate "
+          "power —\nthe gentler the asymmetry, the cheaper it is to "
+          "ignore, which is\nwhy the paper conjectures the fast core "
+          "should be a small fraction\nof total compute power.")
+    for label in ("3f-1s/4", "3f-1s/8"):
+        config = MachineConfig.parse(label)
+        print(f"  paper point {label}: duty "
+              f"{1.0 / config.scale:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""OpenMP loop-schedule tuning on an asymmetric machine.
+
+Shows the §3.5 story end to end with the OpenMP runtime directly:
+static scheduling is slowest-core-bound, guided helps a little,
+dynamic with a sensible chunk rides the machine's aggregate compute
+power — and the Amdahl model predicts where the ceiling is.
+"""
+
+from repro import System
+from repro.analysis import execution_time
+from repro.experiments.report import format_table
+from repro.machine import DEFAULT_FREQUENCY_HZ, MachineConfig
+from repro.runtime.openmp import Loop, LoopSchedule, OmpProgram, OmpTeam, Serial
+
+CONFIGS = ("4f-0s", "2f-2s/8", "0f-4s/4", "0f-4s/8")
+
+#: A representative kernel: 5% serial setup + one big parallel loop.
+SERIAL_CYCLES = 0.2 * DEFAULT_FREQUENCY_HZ
+ITERATIONS = 256
+ITER_CYCLES = 4.0 * DEFAULT_FREQUENCY_HZ / ITERATIONS
+
+
+def build_program(schedule, chunk=None):
+    return OmpProgram([
+        Serial(SERIAL_CYCLES, name="setup"),
+        Loop(ITERATIONS, ITER_CYCLES, schedule=schedule, chunk=chunk,
+             name="main-loop"),
+    ], name="kernel")
+
+
+def measure(config, schedule, chunk=None):
+    system = System.build(config, seed=7)
+    team = OmpTeam(system)
+    return team.execute(build_program(schedule, chunk))
+
+
+def main():
+    serial_fraction = SERIAL_CYCLES / (SERIAL_CYCLES
+                                       + ITERATIONS * ITER_CYCLES)
+    rows = []
+    for config in CONFIGS:
+        static = measure(config, LoopSchedule.STATIC)
+        guided = measure(config, LoopSchedule.GUIDED)
+        dynamic = measure(config, LoopSchedule.DYNAMIC, chunk=4)
+        ideal = execution_time(config, serial_fraction,
+                               single_core_time=(SERIAL_CYCLES
+                                                 + ITERATIONS
+                                                 * ITER_CYCLES)
+                               / DEFAULT_FREQUENCY_HZ)
+        rows.append([config, f"{static:.2f}s", f"{guided:.2f}s",
+                     f"{dynamic:.2f}s", f"{ideal:.2f}s"])
+    print("OpenMP schedules on asymmetric machines "
+          f"(serial fraction {serial_fraction:.1%})\n")
+    print(format_table(
+        ["config", "static", "guided", "dynamic(4)", "Amdahl ideal"],
+        rows))
+    print("\nStatic is bound by the slowest core (2f-2s/8 tracks "
+          "0f-4s/8);\ndynamic tracks the Amdahl ideal — the paper's "
+          "application-level fix.")
+    for config in ("2f-2s/8", "0f-4s/8"):
+        power = MachineConfig.parse(config).total_compute_power
+        print(f"  {config}: total compute power {power:.2f} "
+              "fast-core equivalents")
+
+
+if __name__ == "__main__":
+    main()

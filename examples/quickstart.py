@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: build an asymmetric machine, run threads, compare
+schedulers.
+
+Demonstrates the core public API:
+
+* ``System.build("2f-2s/8")`` — a machine with 2 fast cores and 2
+  cores at 1/8 speed (the paper's duty-cycle emulation);
+* spawning threads whose bodies yield virtual instructions;
+* the stock (speed-blind) kernel scheduler vs. the paper's
+  asymmetry-aware scheduler.
+"""
+
+from repro import System
+from repro.kernel import AsymmetryAwareScheduler, Compute, SimThread
+from repro.machine import DEFAULT_FREQUENCY_HZ
+
+ONE_SECOND = DEFAULT_FREQUENCY_HZ  # cycles = 1s on a fast core
+
+
+def spin(cycles):
+    """A compute-bound thread body."""
+    yield Compute(cycles)
+
+
+def run_three_jobs(scheduler_factory, seed):
+    """Three 1-second jobs on a 2-fast/2-slow machine."""
+    scheduler = scheduler_factory() if scheduler_factory else None
+    system = System.build("2f-2s/8", seed=seed, scheduler=scheduler)
+    jobs = [system.kernel.spawn(SimThread(f"job-{i}", spin(ONE_SECOND)))
+            for i in range(3)]
+    system.run()
+    return [job.finish_time for job in jobs]
+
+
+def main():
+    print("Machine 2f-2s/8: cores at relative speeds "
+          "[1.0, 1.0, 0.125, 0.125]\n")
+
+    print("Stock (speed-blind) scheduler, five seeds:")
+    for seed in range(5):
+        finishes = run_three_jobs(None, seed)
+        print(f"  seed {seed}: job finish times "
+              f"{[f'{t:.2f}s' for t in finishes]}")
+    print("  -> whichever job lands on a slow core takes 8x longer,"
+          " and that varies run to run.\n")
+
+    print("Asymmetry-aware scheduler (paper §3.1.1), five seeds:")
+    for seed in range(5):
+        finishes = run_three_jobs(AsymmetryAwareScheduler, seed)
+        print(f"  seed {seed}: job finish times "
+              f"{[f'{t:.2f}s' for t in finishes]}")
+    print("  -> fast cores never idle before slow ones; pull"
+          " migration rescues stranded jobs; runs are repeatable.")
+
+
+if __name__ == "__main__":
+    main()

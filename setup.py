@@ -1,0 +1,7 @@
+"""Thin shim so legacy (non-PEP-517) editable installs work offline.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

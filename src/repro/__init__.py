@@ -1,0 +1,32 @@
+"""repro — reproduction of Balakrishnan, Rajwar, Upton & Lai,
+"The Impact of Performance Asymmetry in Emerging Multicore
+Architectures" (ISCA 2005).
+
+The package simulates the paper's hardware prototype — a 4-way
+multiprocessor whose cores are slowed by clock duty-cycle modulation —
+together with an OS kernel, managed-runtime/OpenMP substrates and
+behavioural models of all eight workloads, and regenerates every table
+and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import System
+
+    system = System.build("2f-2s/8", seed=1)
+    # ... spawn threads on system.kernel, then system.run()
+
+See ``examples/quickstart.py`` and DESIGN.md.
+"""
+
+from repro._system import System
+from repro.machine import Machine, MachineConfig, STANDARD_CONFIG_LABELS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "Machine",
+    "MachineConfig",
+    "STANDARD_CONFIG_LABELS",
+    "__version__",
+]

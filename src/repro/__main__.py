@@ -1,0 +1,82 @@
+"""Command-line entry point: regenerate paper exhibits.
+
+Usage::
+
+    python -m repro list                  # available exhibits
+    python -m repro fig04                 # regenerate one exhibit
+    python -m repro all                   # regenerate everything
+    python -m repro fig08 --profile paper # full protocol
+    python -m repro validate              # machine self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.figures import ALL_EXHIBITS
+from repro.experiments.profiles import get_profile
+from repro.machine import (
+    Machine,
+    STANDARD_CONFIG_LABELS,
+    run_microbenchmark,
+)
+
+
+def _cmd_list() -> int:
+    print("available exhibits:")
+    for name, module in ALL_EXHIBITS.items():
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {summary}")
+    return 0
+
+
+def _cmd_validate() -> int:
+    """Paper §3: validate the emulated asymmetry with micro-benchmarks."""
+    print("duty-cycle validation (spin micro-benchmark per core):")
+    for label in STANDARD_CONFIG_LABELS:
+        machine = Machine.from_label(label)
+        slowdowns = [f"{r.measured_slowdown:.2f}"
+                     for r in run_microbenchmark(machine)]
+        print(f"  {label:8s} per-core slowdowns: {', '.join(slowdowns)}")
+    return 0
+
+
+def _cmd_exhibit(name: str, profile_name: str) -> int:
+    profile = get_profile(profile_name)
+    if name == "all":
+        names = list(ALL_EXHIBITS)
+    elif name in ALL_EXHIBITS:
+        names = [name]
+    else:
+        print(f"unknown exhibit {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    for exhibit in names:
+        module = ALL_EXHIBITS[exhibit]
+        print(f"== {exhibit} ".ljust(72, "="))
+        module.main(profile)
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate exhibits of the ISCA 2005 asymmetry "
+                    "paper reproduction.")
+    parser.add_argument("exhibit",
+                        help="exhibit name (fig01..fig10, table1), "
+                             "'all', 'list', or 'validate'")
+    parser.add_argument("--profile", default="quick",
+                        choices=("quick", "paper"),
+                        help="experiment scale (default: quick)")
+    args = parser.parse_args(argv)
+    if args.exhibit == "list":
+        return _cmd_list()
+    if args.exhibit == "validate":
+        return _cmd_validate()
+    return _cmd_exhibit(args.exhibit, args.profile)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

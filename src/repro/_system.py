@@ -1,0 +1,64 @@
+"""The :class:`System` façade: machine + simulator + kernel in one box.
+
+Workload models and experiments always operate on a ``System``; tests
+construct them directly for fine-grained scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.scheduler import Scheduler
+from repro.machine.topology import Machine, MachineConfig
+from repro.sim.engine import Simulator
+
+
+class System:
+    """A complete simulated platform.
+
+    Parameters
+    ----------
+    machine:
+        The simulated multiprocessor.
+    seed:
+        Master seed; every random stream in the simulation derives
+        from it, so two systems with the same seed and workload behave
+        identically.
+    scheduler:
+        Kernel scheduling policy; default is the stock
+        :class:`~repro.kernel.scheduler.SymmetricScheduler`.
+    """
+
+    def __init__(self, machine: Machine, seed: int = 0,
+                 scheduler: Optional[Scheduler] = None) -> None:
+        self.machine = machine
+        self.sim = Simulator(seed=seed)
+        self.kernel = Kernel(self.sim, machine, scheduler)
+
+    @classmethod
+    def build(cls, config: str, seed: int = 0,
+              scheduler: Optional[Scheduler] = None) -> "System":
+        """Build a system from an ``nf-ms/scale`` label."""
+        if isinstance(config, MachineConfig):
+            machine = Machine(config)
+        else:
+            machine = Machine.from_label(config)
+        return cls(machine, seed=seed, scheduler=scheduler)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def label(self) -> str:
+        return self.machine.label
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the kernel (see :meth:`repro.kernel.kernel.Kernel.run`)."""
+        return self.kernel.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"System({self.label}, "
+                f"scheduler={self.kernel.scheduler.name})")

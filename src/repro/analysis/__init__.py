@@ -1,0 +1,37 @@
+"""Statistics, classification (Table 1) and the Amdahl model."""
+
+from repro.analysis.amdahl import (
+    asymmetric_advantage,
+    execution_time,
+    speedup,
+)
+from repro.analysis.classify import (
+    PREDICTABILITY_COV_THRESHOLD,
+    SCALABILITY_R2_THRESHOLD,
+    Classification,
+    classify,
+)
+from repro.analysis.stats import (
+    ScalingFit,
+    Summary,
+    percentile,
+    scaling_fit,
+    speedup_over,
+    summarize,
+)
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "percentile",
+    "speedup_over",
+    "ScalingFit",
+    "scaling_fit",
+    "Classification",
+    "classify",
+    "PREDICTABILITY_COV_THRESHOLD",
+    "SCALABILITY_R2_THRESHOLD",
+    "execution_time",
+    "speedup",
+    "asymmetric_advantage",
+]

@@ -1,0 +1,57 @@
+"""Closed-form model of asymmetric speedup (paper point 3).
+
+The paper's third key point — "an asymmetric multiprocessor gives
+higher performance than a multiprocessor in which all cores are slow
+because the fast core is effective for serial portions" — is an
+Amdahl's-law argument (cf. the paper's Moncrieff et al. reference).
+This module provides the closed form so simulated workloads can be
+checked against theory.
+
+For a program with serial fraction *f* (of single-fast-core time) on a
+machine whose cores have relative speeds :math:`s_1 \\ge s_2 \\ge ...`:
+
+* the serial portion runs on the fastest core: time ``f / s_1``;
+* the parallel portion, perfectly load-balanced, runs at the aggregate
+  speed: time ``(1 - f) / sum(s_i)``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.machine.topology import MachineConfig
+
+
+def execution_time(config: Union[str, MachineConfig],
+                   serial_fraction: float,
+                   single_core_time: float = 1.0) -> float:
+    """Ideal runtime on ``config`` of a program that takes
+    ``single_core_time`` on one fast core."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if isinstance(config, str):
+        config = MachineConfig.parse(config)
+    speeds = config.core_speeds()
+    fastest = max(speeds)
+    aggregate = sum(speeds)
+    serial = serial_fraction * single_core_time / fastest
+    parallel = (1.0 - serial_fraction) * single_core_time / aggregate
+    return serial + parallel
+
+
+def speedup(config: Union[str, MachineConfig], serial_fraction: float,
+            baseline: Union[str, MachineConfig] = "0f-4s/8") -> float:
+    """Ideal speedup of ``config`` over ``baseline`` (Figure 10 axis)."""
+    return execution_time(baseline, serial_fraction) \
+        / execution_time(config, serial_fraction)
+
+
+def asymmetric_advantage(serial_fraction: float, scale: int = 8,
+                         fast: int = 1, slow: int = 3) -> float:
+    """Speedup of ``{fast}f-{slow}s/{scale}`` over the all-slow machine
+    with the same total core count — the paper's point 3 quantified."""
+    total = fast + slow
+    asym = MachineConfig(fast=fast, slow=slow, scale=scale)
+    all_slow = MachineConfig(fast=0, slow=total, scale=scale)
+    return execution_time(all_slow, serial_fraction) \
+        / execution_time(asym, serial_fraction)

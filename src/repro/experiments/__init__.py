@@ -1,0 +1,25 @@
+"""Experiment harness: runner, profiles, reporting and the exhibits."""
+
+from repro.experiments.figures import ALL_EXHIBITS
+from repro.experiments.profiles import PAPER, QUICK, Profile, get_profile
+from repro.experiments.report import (
+    format_series,
+    format_speedups,
+    format_sweep,
+    format_table,
+)
+from repro.experiments.runner import ConfigSweep, Runner
+
+__all__ = [
+    "Runner",
+    "ConfigSweep",
+    "Profile",
+    "PAPER",
+    "QUICK",
+    "get_profile",
+    "format_table",
+    "format_sweep",
+    "format_speedups",
+    "format_series",
+    "ALL_EXHIBITS",
+]

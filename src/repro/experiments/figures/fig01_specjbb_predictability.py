@@ -1,0 +1,84 @@
+"""Figure 1 — SPECjbb performance predictability.
+
+(a) Throughput vs. warehouse count on the 2f-2s/8 asymmetric machine
+    for two virtual machines: BEA JRockit with the parallel collector
+    and Sun HotSpot with the generational concurrent collector,
+    multiple runs each.  HotSpot's absolute variance is higher;
+    JRockit shows minor instability.
+(b) JRockit with the generational concurrent collector: stable on
+    4f-0s, significantly unstable on 2f-2s/8, with instability growing
+    with concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.profiles import Profile, QUICK
+from repro.experiments.report import format_series
+from repro.runtime.jvm import GCKind
+from repro.workloads.specjbb import SpecJBB
+
+
+def _throughput_curve(vm: str, gc: GCKind, config: str, runs: int,
+                      profile: Profile, base_seed: int,
+                      ) -> List[List[float]]:
+    """One throughput-vs-warehouses curve per run."""
+    curves = []
+    for run in range(runs):
+        curve = []
+        for warehouses in profile.warehouses:
+            workload = SpecJBB(
+                warehouses=warehouses, vm=vm, gc=gc,
+                measurement_seconds=profile.specjbb_measurement)
+            result = workload.run_once(config, seed=base_seed + run)
+            curve.append(result.metric("throughput"))
+        curves.append(curve)
+    return curves
+
+
+def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+    """Collect both panels; returns {panel: {series: curves}}."""
+    runs = max(2, profile.runs)
+    panel_a = {
+        "jrockit-parallel@2f-2s/8": _throughput_curve(
+            "jrockit", GCKind.PARALLEL, "2f-2s/8", runs, profile,
+            base_seed),
+        "hotspot-concurrent@2f-2s/8": _throughput_curve(
+            "hotspot", GCKind.CONCURRENT, "2f-2s/8", runs, profile,
+            base_seed),
+    }
+    panel_b = {
+        "jrockit-concurrent@4f-0s": _throughput_curve(
+            "jrockit", GCKind.CONCURRENT, "4f-0s", runs, profile,
+            base_seed),
+        "jrockit-concurrent@2f-2s/8": _throughput_curve(
+            "jrockit", GCKind.CONCURRENT, "2f-2s/8", runs, profile,
+            base_seed),
+    }
+    return {"warehouses": list(profile.warehouses),
+            "a": panel_a, "b": panel_b}
+
+
+def render(data: Dict) -> str:
+    """Text rendering: per series, the min..max envelope across runs."""
+    blocks = []
+    for panel in ("a", "b"):
+        series = {}
+        for name, curves in data[panel].items():
+            lows = [min(c[i] for c in curves)
+                    for i in range(len(data["warehouses"]))]
+            highs = [max(c[i] for c in curves)
+                     for i in range(len(data["warehouses"]))]
+            series[f"{name} min"] = lows
+            series[f"{name} max"] = highs
+        blocks.append(format_series(
+            f"Figure 1({panel}) SPECjbb throughput (ops/s) envelopes",
+            data["warehouses"], series, x_name="warehouses"))
+    return "\n\n".join(blocks)
+
+
+def main(profile: Profile = QUICK) -> str:
+    output = render(run(profile))
+    print(output)
+    return output

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ConfigSweep
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_sweep(sweep: ConfigSweep, metric: Optional[str] = None,
+                 unit: str = "") -> str:
+    """One row per configuration: mean, spread (error bar), CoV."""
+    metric = metric or sweep.primary_metric
+    rows: List[List[str]] = []
+    for label in sweep.configs:
+        summary = sweep.summary(label, metric)
+        rows.append([
+            label,
+            f"{summary.mean:.2f}{unit}",
+            f"{summary.minimum:.2f}..{summary.maximum:.2f}",
+            f"{summary.cov:.3f}",
+            str(summary.n),
+        ])
+    title = f"{sweep.workload} — {metric}"
+    table = format_table(
+        ["config", "mean", "min..max", "CoV", "runs"], rows)
+    return f"{title}\n{table}"
+
+
+def format_speedups(sweeps: Dict[str, ConfigSweep],
+                    baseline: str = "0f-4s/8") -> str:
+    """Figure 10's matrix: workloads x configurations, speedups."""
+    if not sweeps:
+        return "(no data)"
+    some = next(iter(sweeps.values()))
+    configs = some.configs
+    headers = ["workload"] + list(configs)
+    rows = []
+    for name, sweep in sweeps.items():
+        speedups = sweep.speedups(baseline)
+        rows.append([name] + [f"{speedups[c]:.2f}" for c in configs])
+    return format_table(headers, rows)
+
+
+def format_series(title: str, xs: Sequence[float],
+                  series: Dict[str, Sequence[float]],
+                  x_name: str = "x") -> str:
+    """Multi-series table (e.g. throughput vs. warehouses)."""
+    headers = [x_name] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for values in series.values():
+            row.append(f"{values[index]:.1f}")
+        rows.append(row)
+    return f"{title}\n" + format_table(headers, rows)

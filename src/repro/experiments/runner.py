@@ -1,0 +1,110 @@
+"""Multi-run, multi-configuration experiment driver.
+
+The paper's protocol: run each workload several times on each of the
+nine machine configurations, then look at the spread (stability) and
+the means (scalability).  :class:`Runner` executes that protocol for
+any :class:`~repro.workloads.base.Workload`; :class:`ConfigSweep` holds
+the results and answers the questions the figures ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.classify import Classification, classify
+from repro.analysis.stats import Summary, speedup_over, summarize
+from repro.machine.topology import STANDARD_CONFIG_LABELS
+from repro.workloads.base import RunResult, SchedulerFactory, Workload
+
+
+@dataclass
+class ConfigSweep:
+    """Results of repeated runs across machine configurations."""
+
+    workload: str
+    primary_metric: str
+    higher_is_better: bool
+    #: label -> list of RunResult, one per repetition.
+    results: Dict[str, List[RunResult]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def configs(self) -> List[str]:
+        return list(self.results)
+
+    def samples(self, metric: Optional[str] = None) -> Dict[str, List[float]]:
+        """Per-config values of a metric (default: the primary one)."""
+        metric = metric or self.primary_metric
+        return {label: [run.metric(metric) for run in runs]
+                for label, runs in self.results.items()}
+
+    def summary(self, label: str,
+                metric: Optional[str] = None) -> Summary:
+        metric = metric or self.primary_metric
+        return summarize([run.metric(metric)
+                          for run in self.results[label]])
+
+    def summaries(self, metric: Optional[str] = None) -> Dict[str, Summary]:
+        return {label: self.summary(label, metric)
+                for label in self.results}
+
+    def means(self, metric: Optional[str] = None) -> Dict[str, float]:
+        return {label: summary.mean
+                for label, summary in self.summaries(metric).items()}
+
+    def speedups(self, baseline: str = "0f-4s/8",
+                 metric: Optional[str] = None) -> Dict[str, float]:
+        """Figure 10's view: mean speedup of each config over baseline."""
+        means = self.means(metric)
+        base = means[baseline]
+        return {label: speedup_over(base, value, self.higher_is_better)
+                for label, value in means.items()}
+
+    def classification(self) -> Classification:
+        """This sweep's Table 1 row."""
+        return classify(self.workload, self.samples(),
+                        self.higher_is_better)
+
+
+class Runner:
+    """Executes the repeated-runs protocol.
+
+    Parameters
+    ----------
+    configs:
+        Machine configurations to sweep (default: the paper's nine).
+    runs:
+        Repetitions per configuration (the paper uses 2-13 depending
+        on the experiment).
+    base_seed:
+        Seed of the first run; repetition *i* on any config uses
+        ``base_seed + i``, mirroring "same setup, run again".
+    scheduler_factory:
+        Optional kernel scheduler override (e.g. the asymmetry-aware
+        scheduler) applied to every run.
+    """
+
+    def __init__(self, configs: Sequence[str] = STANDARD_CONFIG_LABELS,
+                 runs: int = 4, base_seed: int = 100,
+                 scheduler_factory: Optional[SchedulerFactory] = None,
+                 ) -> None:
+        if runs < 1:
+            raise ValueError("need at least one run per configuration")
+        self.configs = list(configs)
+        self.runs = runs
+        self.base_seed = base_seed
+        self.scheduler_factory = scheduler_factory
+
+    def run(self, workload: Workload) -> ConfigSweep:
+        """Run the sweep for one workload."""
+        sweep = ConfigSweep(workload=workload.name,
+                            primary_metric=workload.primary_metric,
+                            higher_is_better=workload.higher_is_better)
+        for label in self.configs:
+            sweep.results[label] = [
+                workload.run_once(label, seed=self.base_seed + i,
+                                  scheduler_factory=self.scheduler_factory)
+                for i in range(self.runs)
+            ]
+        return sweep

@@ -1,0 +1,75 @@
+"""Simulated operating-system kernel.
+
+Public surface:
+
+* :class:`~repro.kernel.kernel.Kernel` — dispatch mechanism.
+* :class:`~repro.kernel.scheduler.SymmetricScheduler` — stock,
+  speed-agnostic load balancer (the paper's baseline kernels).
+* :class:`~repro.kernel.asym_scheduler.AsymmetryAwareScheduler` — the
+  paper's §3.1.1 fix ("fast cores never idle before slow cores").
+* :class:`~repro.kernel.thread.SimThread` and the instruction set in
+  :mod:`repro.kernel.instructions`.
+* Synchronization objects in :mod:`repro.kernel.sync`.
+"""
+
+from repro.kernel.asym_scheduler import (
+    AsymmetryAwareScheduler,
+    RankOnlyAsymmetryScheduler,
+)
+from repro.kernel.instructions import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    GetCore,
+    GetTime,
+    Instruction,
+    Join,
+    Lock,
+    Notify,
+    Release,
+    SetAffinity,
+    Sleep,
+    Spawn,
+    Unlock,
+    Wait,
+    YieldCPU,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.scheduler import (
+    DEFAULT_QUANTUM,
+    Scheduler,
+    SymmetricScheduler,
+)
+from repro.kernel.sync import Barrier, CondVar, Mutex, Semaphore
+from repro.kernel.thread import SimThread, ThreadState
+
+__all__ = [
+    "Kernel",
+    "Scheduler",
+    "SymmetricScheduler",
+    "AsymmetryAwareScheduler",
+    "RankOnlyAsymmetryScheduler",
+    "DEFAULT_QUANTUM",
+    "SimThread",
+    "ThreadState",
+    "Mutex",
+    "Barrier",
+    "CondVar",
+    "Semaphore",
+    "Instruction",
+    "Compute",
+    "Sleep",
+    "Lock",
+    "Unlock",
+    "BarrierWait",
+    "Wait",
+    "Notify",
+    "Acquire",
+    "Release",
+    "Spawn",
+    "Join",
+    "YieldCPU",
+    "SetAffinity",
+    "GetTime",
+    "GetCore",
+]

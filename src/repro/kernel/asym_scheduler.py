@@ -1,0 +1,181 @@
+"""The paper's asymmetry-aware kernel scheduler (§3.1.1).
+
+    "In the new algorithm, the kernel scheduler ensures faster cores
+    never go idle before slower cores.  A process is explicitly
+    migrated from a slow core to an idle fast core, if one is
+    available."
+
+Three behaviours distinguish it from :class:`SymmetricScheduler`:
+
+1. **Speed-aware placement** — among the least-loaded allowed cores, a
+   waking thread goes to the *fastest* one (the stock scheduler picks
+   randomly, sometimes parking work on a slow core while a fast core
+   idles).
+2. **Slow-first stealing** — an idle core prefers to relieve the
+   runqueues of the *slowest* loaded cores.
+3. **Pull migration** — if nothing is queued anywhere, an idle core
+   preempts and pulls the thread *running* on a strictly slower core,
+   so a fast core never sits idle while a slow core crunches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.kernel.scheduler import DEFAULT_QUANTUM, SymmetricScheduler
+from repro.machine.core import Core
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import SimThread
+
+
+class AsymmetryAwareScheduler(SymmetricScheduler):
+    """Speed-aware variant of the load-balancing scheduler."""
+
+    name = "asymmetry-aware"
+
+    def __init__(self, quantum: float = DEFAULT_QUANTUM) -> None:
+        super().__init__(quantum)
+        #: Pull migrations performed (running thread yanked from a
+        #: slower core to an idle faster one).
+        self.pull_migrations = 0
+
+    # ------------------------------------------------------------------
+    def place(self, thread: "SimThread") -> Core:
+        allowed = self._allowed_cores(thread)
+        min_load = min(self._load(core) for core in allowed)
+        candidates = [c for c in allowed if self._load(c) == min_load]
+        top_rate = max(core.rate for core in candidates)
+        fastest = [c for c in candidates if c.rate == top_rate]
+        for core in fastest:
+            if core.index == thread.last_core:
+                return core
+        return self.kernel.rng.choice_tiebreak(fastest)
+
+    def next_thread(self, core: Core) -> Optional["SimThread"]:
+        queue = self.kernel.runqueue(core.index)
+        if queue:
+            return queue.popleft()
+        stolen = self._steal(core)
+        if stolen is not None:
+            return stolen
+        return self._pull_from_slower(core)
+
+    # ------------------------------------------------------------------
+    def _steal_victims(self, core: Core) -> List[Core]:
+        """Victims ordered slowest-first, then by queue length.
+
+        Relieving the slowest core first is what keeps total progress
+        maximal on an asymmetric machine.
+        """
+        victims = [v for v in self.kernel.machine.cores
+                   if v is not core and self.kernel.runqueue(v.index)]
+        victims.sort(key=lambda v: (v.rate,
+                                    -len(self.kernel.runqueue(v.index))))
+        return victims
+
+    def _steal(self, core: Core) -> Optional["SimThread"]:
+        for victim in self._steal_victims(core):
+            queue = self.kernel.runqueue(victim.index)
+            for position in range(len(queue) - 1, -1, -1):
+                thread = queue[position]
+                if thread.allowed_on(core.index):
+                    del queue[position]
+                    return thread
+        return None
+
+    def _pull_from_slower(self, core: Core) -> Optional["SimThread"]:
+        """Yank the running thread off the slowest strictly-slower core."""
+        candidates = [
+            victim for victim in self.kernel.machine.cores
+            if victim is not core
+            and victim.rate < core.rate
+            and victim.current_thread is not None
+            and victim.current_thread.allowed_on(core.index)
+        ]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda v: v.rate)
+        thread = self.kernel.preempt_current(victim)
+        self.pull_migrations += 1
+        return thread
+
+
+class RankOnlyAsymmetryScheduler(AsymmetryAwareScheduler):
+    """Asymmetry-aware scheduling from *relative* speed ranks only.
+
+    The paper's point 4 conjectures: "Exposing the relative
+    performance of processors ... may be sufficient, and absolute
+    information of each processor's performance may not be necessary."
+    This scheduler is handed nothing but a ranking of the cores
+    (fastest first) — no frequencies, no duty cycles — and replaces
+    every rate comparison with a rank comparison.  Its decisions are
+    provably identical to :class:`AsymmetryAwareScheduler`'s whenever
+    the ranking is consistent with the true speeds, which the tests
+    verify empirically.
+    """
+
+    name = "rank-only-asymmetry-aware"
+
+    def __init__(self, ranking=None,
+                 quantum: float = DEFAULT_QUANTUM) -> None:
+        super().__init__(quantum)
+        #: Speed classes fastest-first, each a group of core indices
+        #: that benchmarked as equally fast (flat ints allowed for
+        #: singleton groups).  None = calibrate at attach time with a
+        #: boot micro-benchmark, keeping only the grouping/order.
+        self._ranking = ranking
+        self._rank_of = None
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        if self._ranking is None:
+            # Boot-time calibration (paper §2's validation spin loop):
+            # equal measured runtimes fall into the same speed class.
+            groups = {}
+            for core in kernel.machine.cores:
+                groups.setdefault(core.rate, []).append(core.index)
+            self._ranking = [groups[rate]
+                             for rate in sorted(groups, reverse=True)]
+        self._rank_of = {}
+        for rank, group in enumerate(self._ranking):
+            members = group if isinstance(group, (list, tuple)) \
+                else [group]
+            for index in members:
+                self._rank_of[index] = rank
+
+    def _rank(self, core) -> int:
+        return self._rank_of[core.index]
+
+    def place(self, thread):
+        allowed = self._allowed_cores(thread)
+        min_load = min(self._load(core) for core in allowed)
+        candidates = [c for c in allowed if self._load(c) == min_load]
+        best_rank = min(self._rank(core) for core in candidates)
+        fastest = [c for c in candidates if self._rank(c) == best_rank]
+        for core in fastest:
+            if core.index == thread.last_core:
+                return core
+        return self.kernel.rng.choice_tiebreak(fastest)
+
+    def _steal_victims(self, core):
+        victims = [v for v in self.kernel.machine.cores
+                   if v is not core and self.kernel.runqueue(v.index)]
+        victims.sort(key=lambda v: (-self._rank(v),
+                                    -len(self.kernel.runqueue(v.index))))
+        return victims
+
+    def _pull_from_slower(self, core):
+        candidates = [
+            victim for victim in self.kernel.machine.cores
+            if victim is not core
+            and self._rank(victim) > self._rank(core)
+            and victim.current_thread is not None
+            and victim.current_thread.allowed_on(core.index)
+        ]
+        if not candidates:
+            return None
+        victim = max(candidates, key=self._rank)
+        thread = self.kernel.preempt_current(victim)
+        self.pull_migrations += 1
+        return thread

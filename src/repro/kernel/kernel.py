@@ -1,0 +1,546 @@
+"""The simulated operating-system kernel.
+
+The :class:`Kernel` owns the mechanism of multiprocessor scheduling:
+per-core runqueues, quantum-sliced execution of ``Compute``
+instructions, blocking on synchronization objects, sleep timers,
+wakeups and migrations.  *Policy* — where threads are placed and what
+an idle core runs — is delegated to a :class:`~repro.kernel.scheduler.
+Scheduler`.
+
+Execution model
+---------------
+Thread bodies are generators yielding instructions.  Only ``Compute``
+consumes simulated time; the kernel slices it into scheduler quanta so
+threads can be preempted and migrated mid-instruction.  All other
+instructions execute instantaneously in kernel context (possibly
+leaving the thread blocked).  Dispatch is always performed from a
+zero-delay event, never recursively, which keeps the Python stack flat
+and the event order deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+
+from repro.errors import DeadlockError, SchedulingError, SimulationError
+from repro.kernel import instructions as ins
+from repro.kernel.scheduler import Scheduler, SymmetricScheduler
+from repro.kernel.thread import SimThread, ThreadState
+from repro.machine.core import Core
+from repro.machine.topology import Machine
+from repro.sim.engine import Simulator
+
+#: Cycle-accounting slack for floating point (half a cycle).
+_CYCLE_EPSILON = 0.5
+
+#: Consecutive zero-time instructions one thread may run before the
+#: kernel declares an instruction livelock (a buggy workload model).
+_INSTANT_GUARD = 1_000_000
+
+#: Floor on slice length so a nearly exhausted quantum cannot create
+#: an avalanche of infinitesimal slices.
+_MIN_SLICE = 1e-6
+
+
+class _Slice:
+    """Bookkeeping for a compute slice in progress on a core."""
+
+    __slots__ = ("thread", "start", "rate", "event")
+
+    def __init__(self, thread: SimThread, start: float, rate: float,
+                 event) -> None:
+        self.thread = thread
+        self.start = start
+        self.rate = rate
+        self.event = event
+
+
+class Kernel:
+    """Mechanism layer binding a machine, a simulator and a policy."""
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 scheduler: Optional[Scheduler] = None,
+                 rng_stream: str = "kernel.sched") -> None:
+        self.sim = sim
+        self.machine = machine
+        self.scheduler = scheduler if scheduler is not None \
+            else SymmetricScheduler()
+        self.scheduler.attach(self)
+        #: Random stream used by the scheduler for tie-breaking.
+        self.rng = sim.stream(rng_stream)
+
+        self._runqueues: Dict[int, Deque[SimThread]] = {
+            core.index: deque() for core in machine.cores}
+        self._slices: Dict[int, _Slice] = {}
+        self._dispatch_pending: Dict[int, bool] = {
+            core.index: False for core in machine.cores}
+        self.threads: List[SimThread] = []
+
+        # ---------------------------- metrics --------------------------
+        self.context_switches = 0
+        self.migrations = 0
+        self.preempt_pulls = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def runqueue(self, core_index: int) -> Deque[SimThread]:
+        """The ready queue of the given core (scheduler-visible)."""
+        return self._runqueues[core_index]
+
+    def spawn(self, thread: SimThread) -> SimThread:
+        """Register and start a thread."""
+        if thread.state is not ThreadState.NEW:
+            raise SchedulingError(
+                f"thread {thread.name!r} spawned twice")
+        thread.spawn_time = self.sim.now
+        self.threads.append(thread)
+        self._make_ready(thread)
+        return thread
+
+    def start(self, name: str,
+              body: Generator[ins.Instruction, Any, Any],
+              affinity=None, daemon: bool = False) -> SimThread:
+        """Convenience: build a :class:`SimThread` and spawn it."""
+        return self.spawn(SimThread(name, body, affinity=affinity,
+                                    daemon=daemon))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation.
+
+        Stops when every non-daemon thread has terminated, when the
+        simulated clock reaches ``until``, or — error case — when the
+        event queue drains with non-daemon threads still blocked
+        (:class:`DeadlockError`).
+        Returns the simulated time at which execution stopped.
+        """
+        while True:
+            if self._workload_finished():
+                break
+            next_time = self.sim.peek_time()
+            if next_time is None:
+                blocked = [t.name for t in self.threads
+                           if not t.daemon and not t.terminated]
+                if blocked:
+                    raise DeadlockError(
+                        "simulation stalled with live threads: "
+                        + ", ".join(blocked), blocked)
+                if until is not None and until > self.sim.now:
+                    self.sim.advance_to(until)
+                break
+            if until is not None and next_time > until:
+                self.sim.advance_to(until)
+                break
+            self.sim.step()
+        return self.sim.now
+
+    def _workload_finished(self) -> bool:
+        non_daemon = [t for t in self.threads if not t.daemon]
+        return bool(non_daemon) and all(t.terminated for t in non_daemon)
+
+    # ------------------------------------------------------------------
+    # Metrics helpers
+    # ------------------------------------------------------------------
+    def semaphore_release(self, semaphore) -> None:
+        """Release a semaphore from driver (non-thread) context.
+
+        Equivalent to a thread executing
+        :class:`~repro.kernel.instructions.Release`; used by event-driven
+        workload drivers (e.g. request generators) that are not
+        themselves simulated threads.
+        """
+        if semaphore.waiters:
+            waiter = semaphore.waiters.popleft()
+            self._wake_blocked(waiter, None)
+        else:
+            semaphore.permits += 1
+
+    def core_utilization(self) -> Dict[int, float]:
+        """Busy fraction per core since time zero."""
+        if self.sim.now <= 0:
+            return {core.index: 0.0 for core in self.machine.cores}
+        return {core.index: core.busy_time / self.sim.now
+                for core in self.machine.cores}
+
+    def live_threads(self) -> List[SimThread]:
+        return [t for t in self.threads if not t.terminated]
+
+    # ------------------------------------------------------------------
+    # Ready / dispatch machinery
+    # ------------------------------------------------------------------
+    def _make_ready(self, thread: SimThread) -> None:
+        thread.state = ThreadState.READY
+        thread.block_reason = None
+        thread.quantum_used = 0.0  # fresh timeslice after a wait
+        core = self.scheduler.place(thread)
+        if not thread.allowed_on(core.index):
+            raise SchedulingError(
+                f"scheduler placed {thread.name!r} on forbidden core "
+                f"{core.index}")
+        self._runqueues[core.index].append(thread)
+        self._request_dispatch(core)
+
+    def _request_dispatch(self, core: Core) -> None:
+        if core.current_thread is not None:
+            return
+        if self._dispatch_pending[core.index]:
+            return
+        self._dispatch_pending[core.index] = True
+        self.sim.schedule(0.0, self._do_dispatch, core)
+
+    def _do_dispatch(self, core: Core) -> None:
+        self._dispatch_pending[core.index] = False
+        if core.current_thread is not None:
+            return
+        thread = self.scheduler.next_thread(core)
+        if thread is None:
+            self.sim.tracer.record(self.sim.now, "sched",
+                                   event="idle", core=core.index)
+            return
+        self._run(thread, core)
+
+    def _run(self, thread: SimThread, core: Core) -> None:
+        if thread.state is not ThreadState.READY:
+            raise SchedulingError(
+                f"dispatching {thread.name!r} in state {thread.state}")
+        if thread.last_core is not None and thread.last_core != core.index:
+            thread.migrations += 1
+            self.migrations += 1
+        thread.last_core = core.index
+        thread.state = ThreadState.RUNNING
+        core.current_thread = thread
+        self.context_switches += 1
+        self.sim.tracer.record(self.sim.now, "sched", event="run",
+                               thread=thread.name, core=core.index)
+        self._process(thread, core)
+
+    # ------------------------------------------------------------------
+    # Instruction processing
+    # ------------------------------------------------------------------
+    def _process(self, thread: SimThread, core: Core) -> None:
+        """Drive ``thread`` on ``core`` until it computes, blocks,
+        deschedules or terminates."""
+        for _ in range(_INSTANT_GUARD):
+            instruction = thread.current_instruction
+            if instruction is None:
+                try:
+                    instruction = thread.body.send(thread.send_value)
+                except StopIteration as stop:
+                    self._terminate(thread, core, stop.value)
+                    return
+                thread.send_value = None
+                if not isinstance(instruction, ins.Instruction):
+                    raise SimulationError(
+                        f"thread {thread.name!r} yielded "
+                        f"{instruction!r}, not an Instruction")
+                thread.current_instruction = instruction
+                if isinstance(instruction, ins.Compute):
+                    thread.remaining_cycles = instruction.cycles
+            if isinstance(instruction, ins.Compute):
+                if thread.remaining_cycles <= _CYCLE_EPSILON:
+                    self._complete_instruction(thread, None)
+                    continue
+                # Timeslice accounting spans instructions: a thread
+                # issuing many short computes must still be preempted
+                # at quantum granularity or it starves its runqueue.
+                if thread.quantum_used >= self.scheduler.quantum:
+                    if self.scheduler.should_preempt(core, thread):
+                        self._requeue(thread, core)
+                        return
+                    thread.quantum_used = 0.0
+                self._start_slice(thread, core)
+                return
+            descheduled = self._execute_instant(thread, core, instruction)
+            if descheduled:
+                core.current_thread = None
+                self._request_dispatch(core)
+                return
+        raise SimulationError(
+            f"thread {thread.name!r} executed {_INSTANT_GUARD} "
+            "consecutive zero-time instructions (livelock?)")
+
+    def _complete_instruction(self, thread: SimThread,
+                              result: Any) -> None:
+        """Mark the in-flight instruction done with ``result``."""
+        thread.current_instruction = None
+        thread.send_value = result
+        thread.remaining_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Compute slices
+    # ------------------------------------------------------------------
+    def _start_slice(self, thread: SimThread, core: Core) -> None:
+        seconds_needed = thread.remaining_cycles / core.rate
+        budget = max(self.scheduler.quantum - thread.quantum_used,
+                     _MIN_SLICE)
+        length = min(seconds_needed, budget)
+        event = self.sim.schedule(length, self._on_slice_end, core)
+        self._slices[core.index] = _Slice(thread, self.sim.now,
+                                          core.rate, event)
+
+    def _requeue(self, thread: SimThread, core: Core) -> None:
+        """Put the running thread at the back of its core's queue."""
+        thread.preemptions += 1
+        thread.quantum_used = 0.0
+        thread.state = ThreadState.READY
+        core.current_thread = None
+        self._runqueues[core.index].append(thread)
+        self.sim.tracer.record(self.sim.now, "sched", event="preempt",
+                               thread=thread.name, core=core.index)
+        self._request_dispatch(core)
+
+    def _retire_slice(self, core: Core) -> SimThread:
+        """Account for the (possibly partial) slice running on core."""
+        piece = self._slices.pop(core.index)
+        elapsed = self.sim.now - piece.start
+        cycles = elapsed * piece.rate
+        thread = piece.thread
+        thread.remaining_cycles = max(0.0, thread.remaining_cycles - cycles)
+        thread.account_execution(core.index, elapsed, cycles)
+        thread.last_ran_at = self.sim.now
+        thread.quantum_used += elapsed
+        core.busy_time += elapsed
+        return thread
+
+    def _on_slice_end(self, core: Core) -> None:
+        thread = self._retire_slice(core)
+        if thread.remaining_cycles <= _CYCLE_EPSILON:
+            self._complete_instruction(thread, None)
+            self._process(thread, core)
+            return
+        # Quantum expired mid-instruction.
+        if self.scheduler.should_preempt(core, thread):
+            self._requeue(thread, core)
+        else:
+            thread.quantum_used = 0.0
+            self._start_slice(thread, core)
+
+    def preempt_current(self, core: Core) -> SimThread:
+        """Forcibly deschedule the thread running on ``core``.
+
+        Used by the asymmetry-aware scheduler's pull migration.  The
+        partial slice is accounted, the thread is returned READY (not
+        enqueued anywhere), and the victim core is re-dispatched.
+        """
+        if core.current_thread is None:
+            raise SchedulingError(
+                f"preempt_current on idle core {core.index}")
+        piece = self._slices.get(core.index)
+        if piece is not None:
+            piece.event.cancel()
+            thread = self._retire_slice(core)
+        else:
+            # Thread is mid-instant-instruction; cannot happen because
+            # instant instructions never leave kernel context.
+            raise SchedulingError(
+                f"core {core.index} busy without a compute slice")
+        thread.preemptions += 1
+        thread.state = ThreadState.READY
+        core.current_thread = None
+        self.preempt_pulls += 1
+        self.sim.tracer.record(self.sim.now, "sched", event="pull",
+                               thread=thread.name, core=core.index)
+        self._request_dispatch(core)
+        return thread
+
+    # ------------------------------------------------------------------
+    # Blocking and waking
+    # ------------------------------------------------------------------
+    def _block(self, thread: SimThread, reason: str) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.block_reason = reason
+        self.sim.tracer.record(self.sim.now, "sched", event="block",
+                               thread=thread.name, reason=reason)
+
+    def _wake_blocked(self, thread: SimThread, result: Any = None) -> None:
+        """Complete a blocked thread's instruction and make it ready."""
+        self._complete_instruction(thread, result)
+        self._make_ready(thread)
+
+    def _wake_sleeper(self, thread: SimThread) -> None:
+        self._wake_blocked(thread, None)
+
+    # ------------------------------------------------------------------
+    # Instantaneous instructions
+    # ------------------------------------------------------------------
+    def _execute_instant(self, thread: SimThread, core: Core,
+                         instruction: ins.Instruction) -> bool:
+        """Execute a zero-time instruction.
+
+        Returns True when the thread left the core (blocked, slept,
+        yielded, terminated elsewhere); False when it completed the
+        instruction and keeps running.
+        """
+        if isinstance(instruction, ins.Sleep):
+            thread.state = ThreadState.SLEEPING
+            thread.block_reason = "sleep"
+            self.sim.schedule(instruction.seconds,
+                              self._wake_sleeper, thread)
+            return True
+
+        if isinstance(instruction, ins.Lock):
+            return self._do_lock(thread, instruction.mutex)
+
+        if isinstance(instruction, ins.Unlock):
+            self._do_unlock(thread, instruction.mutex)
+            self._complete_instruction(thread, None)
+            return False
+
+        if isinstance(instruction, ins.BarrierWait):
+            return self._do_barrier(thread, instruction.barrier)
+
+        if isinstance(instruction, ins.Wait):
+            return self._do_cond_wait(thread, instruction)
+
+        if isinstance(instruction, ins.Notify):
+            self._do_notify(instruction)
+            self._complete_instruction(thread, None)
+            return False
+
+        if isinstance(instruction, ins.Acquire):
+            semaphore = instruction.semaphore
+            if semaphore.permits > 0:
+                semaphore.permits -= 1
+                self._complete_instruction(thread, None)
+                return False
+            semaphore.waiters.append(thread)
+            self._block(thread, f"acquire {semaphore.name}")
+            return True
+
+        if isinstance(instruction, ins.Release):
+            semaphore = instruction.semaphore
+            if semaphore.waiters:
+                waiter = semaphore.waiters.popleft()
+                self._wake_blocked(waiter, None)
+            else:
+                semaphore.permits += 1
+            self._complete_instruction(thread, None)
+            return False
+
+        if isinstance(instruction, ins.Spawn):
+            instruction.thread.spawn_core_hint = core.index
+            self.spawn(instruction.thread)
+            self._complete_instruction(thread, instruction.thread)
+            return False
+
+        if isinstance(instruction, ins.Join):
+            target = instruction.thread
+            if target.terminated:
+                self._complete_instruction(thread, target.return_value)
+                return False
+            target.joiners.append(thread)
+            self._block(thread, f"join {target.name}")
+            return True
+
+        if isinstance(instruction, ins.YieldCPU):
+            self._complete_instruction(thread, None)
+            thread.state = ThreadState.READY
+            self._runqueues[core.index].append(thread)
+            return True
+
+        if isinstance(instruction, ins.SetAffinity):
+            thread.affinity = instruction.cores
+            self._complete_instruction(thread, None)
+            if not thread.allowed_on(core.index):
+                # Running on a now-forbidden core: move immediately.
+                thread.state = ThreadState.READY
+                self._make_ready(thread)
+                return True
+            return False
+
+        if isinstance(instruction, ins.GetTime):
+            self._complete_instruction(thread, self.sim.now)
+            return False
+
+        if isinstance(instruction, ins.GetCore):
+            self._complete_instruction(thread, core.index)
+            return False
+
+        raise SimulationError(
+            f"unknown instruction {instruction!r} from {thread.name!r}")
+
+    # ------------------------------------------------------------------
+    def _do_lock(self, thread: SimThread, mutex) -> bool:
+        if mutex.owner is None:
+            mutex.owner = thread
+            self._complete_instruction(thread, None)
+            return False
+        if mutex.owner is thread:
+            raise SchedulingError(
+                f"thread {thread.name!r} re-locking non-reentrant "
+                f"{mutex.name}")
+        mutex.waiters.append(thread)
+        mutex.contention_count += 1
+        self._block(thread, f"lock {mutex.name}")
+        return True
+
+    def _do_unlock(self, thread: SimThread, mutex) -> None:
+        if mutex.owner is not thread:
+            raise SchedulingError(
+                f"thread {thread.name!r} unlocking {mutex.name} owned "
+                f"by {mutex.owner.name if mutex.owner else None}")
+        if mutex.waiters:
+            successor = mutex.waiters.popleft()
+            mutex.owner = successor
+            self._wake_blocked(successor, None)
+        else:
+            mutex.owner = None
+
+    def _do_barrier(self, thread: SimThread, barrier) -> bool:
+        if barrier.n_waiting + 1 >= barrier.parties:
+            # Last arrival trips the barrier: release everyone.
+            barrier.generation += 1
+            waiters = list(barrier.waiting)
+            barrier.waiting.clear()
+            for waiter in waiters:
+                self._wake_blocked(waiter, barrier.generation)
+            self._complete_instruction(thread, barrier.generation)
+            return False
+        barrier.waiting.append(thread)
+        self._block(thread, f"barrier {barrier.name}")
+        return True
+
+    def _do_cond_wait(self, thread: SimThread, instruction) -> bool:
+        mutex = instruction.mutex
+        self._do_unlock(thread, mutex)
+        instruction.condvar.waiters.append(thread)
+        self._block(thread, f"wait {instruction.condvar.name}")
+        return True
+
+    def _do_notify(self, instruction) -> None:
+        condvar = instruction.condvar
+        count = instruction.count
+        if count is None:
+            count = len(condvar.waiters)
+        for _ in range(min(count, len(condvar.waiters))):
+            waiter = condvar.waiters.popleft()
+            # The waiter must re-acquire the mutex named in its Wait
+            # instruction before its Wait completes.
+            mutex = waiter.current_instruction.mutex
+            if mutex.owner is None:
+                mutex.owner = waiter
+                self._wake_blocked(waiter, None)
+            else:
+                mutex.waiters.append(waiter)
+                waiter.block_reason = f"relock {mutex.name}"
+
+    # ------------------------------------------------------------------
+    def _terminate(self, thread: SimThread, core: Core,
+                   value: Any) -> None:
+        thread.state = ThreadState.TERMINATED
+        thread.finish_time = self.sim.now
+        thread.return_value = value
+        thread.current_instruction = None
+        core.current_thread = None
+        self.sim.tracer.record(self.sim.now, "sched", event="exit",
+                               thread=thread.name, core=core.index)
+        joiners = thread.joiners
+        thread.joiners = []
+        for joiner in joiners:
+            self._wake_blocked(joiner, value)
+        self._request_dispatch(core)

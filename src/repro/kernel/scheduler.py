@@ -1,0 +1,195 @@
+"""Kernel scheduling policies.
+
+Two policies matter for the reproduction:
+
+* :class:`SymmetricScheduler` — models the stock Linux 2.4/2.6 behaviour
+  the paper starts from: per-core runqueues, least-loaded placement,
+  cache-affine stickiness, idle stealing.  It is deliberately **blind to
+  core speed**: "the kernel scheduler places processes on slower cores
+  even though a faster core is available because it is agnostic to the
+  relative speed of the processors" (paper §3.4.1).  Ties between
+  equally loaded cores are broken with a seeded random stream — this is
+  the modelled source of run-to-run nondeterminism that real systems
+  get from timing races.
+
+* :class:`AsymmetryAwareScheduler` (in
+  :mod:`repro.kernel.asym_scheduler`) — the paper's §3.1.1 fix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import SchedulingError
+from repro.machine.core import Core
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import SimThread
+
+#: Default scheduling quantum (seconds). Within the range of the Linux
+#: kernels the paper used (tens of milliseconds).
+DEFAULT_QUANTUM = 0.010
+
+
+class Scheduler:
+    """Policy interface consulted by the kernel.
+
+    Subclasses decide *where* ready threads go and *what* an idle core
+    runs next; the kernel owns the mechanism (runqueues, slices,
+    blocking).
+    """
+
+    name = "base"
+
+    def __init__(self, quantum: float = DEFAULT_QUANTUM) -> None:
+        if quantum <= 0:
+            raise SchedulingError(f"quantum must be positive, got {quantum}")
+        self.quantum = quantum
+        self.kernel: Optional["Kernel"] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, kernel: "Kernel") -> None:
+        """Bind this policy to a kernel (called by the kernel)."""
+        self.kernel = kernel
+
+    def place(self, thread: "SimThread") -> Core:
+        """Choose the core whose runqueue receives a newly ready thread."""
+        raise NotImplementedError
+
+    def next_thread(self, core: Core) -> Optional["SimThread"]:
+        """Pick the next thread for an idle ``core`` (may steal/migrate).
+
+        Returning None leaves the core idle.
+        """
+        raise NotImplementedError
+
+    def should_preempt(self, core: Core, thread: "SimThread") -> bool:
+        """Preempt ``thread`` at quantum expiry on ``core``?"""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _allowed_cores(self, thread: "SimThread") -> List[Core]:
+        cores = [core for core in self.kernel.machine.cores
+                 if thread.allowed_on(core.index)]
+        if not cores:
+            raise SchedulingError(
+                f"thread {thread.name!r} has empty effective affinity")
+        return cores
+
+    def _load(self, core: Core) -> int:
+        """Runqueue length plus the running thread, as Linux counts it."""
+        queued = len(self.kernel.runqueue(core.index))
+        return queued + (1 if core.current_thread is not None else 0)
+
+
+class SymmetricScheduler(Scheduler):
+    """Speed-agnostic load balancing (models the stock kernels).
+
+    Placement: least-loaded allowed core; prefer the thread's previous
+    core among the least-loaded (cache affinity); otherwise break ties
+    randomly.  Idle cores steal from the longest runqueue.  Core speed
+    is never consulted.
+    """
+
+    name = "symmetric"
+
+    #: A thread that executed within this window is considered
+    #: cache-hot and is not migrated by idle stealing (models Linux's
+    #: ``can_migrate_task`` / ``task_hot`` check).  This is what leaves
+    #: an important thread stranded on a slow core while fast cores
+    #: idle — the stock-kernel behaviour the paper observes.
+    cache_hot_seconds = 0.020
+
+    #: A waking thread leaves its last core only when that core's load
+    #: exceeds the least-loaded allowed core by at least this much.
+    #: Linux wake affinity is strongly sticky — migration happens via
+    #: the balancer's ~25% imbalance hysteresis, not per wakeup — so
+    #: transient burst imbalances (3 vs 1 runnable) do not move tasks.
+    rebalance_threshold = 3
+
+    def place(self, thread: "SimThread") -> Core:
+        allowed = self._allowed_cores(thread)
+        by_index = {core.index: core for core in allowed}
+        if thread.last_core is None:
+            # New thread.  Under the era's global-runqueue kernels a
+            # fresh child is grabbed by whichever core happens to be
+            # idle — effectively a random, speed-blind pick among idle
+            # cores ("threads may randomly schedule on fast or slow
+            # processors", paper §3.4.1).  With no idle core it starts
+            # on its parent's core (fork placement), else least-loaded.
+            idle = [c for c in allowed if c.current_thread is None
+                    and not self.kernel.runqueue(c.index)]
+            if idle:
+                return self.kernel.rng.choice_tiebreak(idle)
+            hint = thread.spawn_core_hint
+            if hint is not None and hint in by_index:
+                return by_index[hint]
+            return self._least_loaded(allowed)
+        # Waking thread: wake affinity keeps it on its previous core
+        # (cache warmth) unless that core is clearly overloaded — the
+        # stock kernels migrate via balancing hysteresis, not per
+        # wakeup.  This is what leaves a process on a slow core "even
+        # though a faster core is available" (§3.4.1): the policy
+        # never consults core speed.
+        last = by_index.get(thread.last_core)
+        if last is not None:
+            min_load = min(self._load(core) for core in allowed)
+            if self._load(last) - min_load < self.rebalance_threshold:
+                return last
+        return self._least_loaded(allowed)
+
+    def _least_loaded(self, allowed: List[Core]) -> Core:
+        min_load = min(self._load(core) for core in allowed)
+        candidates = [c for c in allowed if self._load(c) == min_load]
+        return self.kernel.rng.choice_tiebreak(candidates)
+
+    def next_thread(self, core: Core) -> Optional["SimThread"]:
+        queue = self.kernel.runqueue(core.index)
+        if queue:
+            return queue.popleft()
+        return self._steal(core)
+
+    def should_preempt(self, core: Core, thread: "SimThread") -> bool:
+        return len(self.kernel.runqueue(core.index)) > 0
+
+    # ------------------------------------------------------------------
+    def _steal_victims(self, core: Core) -> List[Core]:
+        """Victim cores ordered by preference (longest queue first)."""
+        victims = [v for v in self.kernel.machine.cores
+                   if v is not core and self.kernel.runqueue(v.index)]
+        victims.sort(key=lambda v: -len(self.kernel.runqueue(v.index)))
+        return victims
+
+    def _steal(self, core: Core) -> Optional["SimThread"]:
+        """Take a queued thread from the most loaded other core."""
+        victims = self._steal_victims(core)
+        if not victims:
+            return None
+        best_len = len(self.kernel.runqueue(victims[0].index))
+        best = [v for v in victims
+                if len(self.kernel.runqueue(v.index)) == best_len]
+        if len(best) > 1:
+            # Random tie-break among equally loaded victims, then fall
+            # back to the rest in deterministic order.
+            first = self.kernel.rng.choice_tiebreak(best)
+            victims = [first] + [v for v in victims if v is not first]
+        now = self.kernel.now
+        for victim in victims:
+            queue = self.kernel.runqueue(victim.index)
+            # Steal from the tail (coldest cache footprint), skipping
+            # threads whose affinity forbids this core and threads that
+            # are still cache-hot on the victim.
+            for position in range(len(queue) - 1, -1, -1):
+                thread = queue[position]
+                if not thread.allowed_on(core.index):
+                    continue
+                if (thread.last_ran_at is not None
+                        and now - thread.last_ran_at
+                        < self.cache_hot_seconds):
+                    continue
+                del queue[position]
+                return thread
+        return None

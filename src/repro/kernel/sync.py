@@ -1,0 +1,102 @@
+"""Kernel synchronization objects: mutex, barrier, condvar, semaphore.
+
+These hold *state only*; the blocking/waking mechanics live in the
+kernel (:mod:`repro.kernel.kernel`), which manipulates the wait queues
+stored here.  All wait queues are FIFO, so wakeup order is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.errors import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.thread import SimThread
+
+
+class Mutex:
+    """A blocking mutual-exclusion lock with a FIFO wait queue."""
+
+    _next_id = 1
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"mutex-{Mutex._next_id}"
+        Mutex._next_id += 1
+        self.owner: Optional["SimThread"] = None
+        self.waiters: Deque["SimThread"] = deque()
+        #: Total times any thread had to block on this mutex.
+        self.contention_count = 0
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        owner = self.owner.name if self.owner else None
+        return f"Mutex({self.name!r}, owner={owner}, waiters={len(self.waiters)})"
+
+
+class Barrier:
+    """A reusable barrier for a fixed number of parties.
+
+    Threads block in :class:`~repro.kernel.instructions.BarrierWait`
+    until ``parties`` threads have arrived, then all are released and
+    the barrier resets for the next generation (matching the OpenMP
+    end-of-loop barrier the SPEC OMP workloads rely on).
+    """
+
+    _next_id = 1
+
+    def __init__(self, parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise SchedulingError(f"barrier needs >= 1 party, got {parties}")
+        self.name = name or f"barrier-{Barrier._next_id}"
+        Barrier._next_id += 1
+        self.parties = parties
+        self.waiting: Deque["SimThread"] = deque()
+        #: Completed generations (how many times the barrier tripped).
+        self.generation = 0
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self.waiting)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Barrier({self.name!r}, {self.n_waiting}/"
+                f"{self.parties} waiting, gen={self.generation})")
+
+
+class CondVar:
+    """A condition variable used with an associated :class:`Mutex`."""
+
+    _next_id = 1
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or f"cond-{CondVar._next_id}"
+        CondVar._next_id += 1
+        self.waiters: Deque["SimThread"] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CondVar({self.name!r}, waiters={len(self.waiters)})"
+
+
+class Semaphore:
+    """A counting semaphore with a FIFO wait queue."""
+
+    _next_id = 1
+
+    def __init__(self, permits: int, name: str = "") -> None:
+        if permits < 0:
+            raise SchedulingError(
+                f"semaphore permits must be >= 0, got {permits}")
+        self.name = name or f"sem-{Semaphore._next_id}"
+        Semaphore._next_id += 1
+        self.permits = permits
+        self.waiters: Deque["SimThread"] = deque()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Semaphore({self.name!r}, permits={self.permits}, "
+                f"waiters={len(self.waiters)})")

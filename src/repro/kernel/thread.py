@@ -1,0 +1,122 @@
+"""Simulated kernel threads.
+
+A :class:`SimThread` wraps a generator body (see
+:mod:`repro.kernel.instructions`) plus all per-thread kernel state:
+run state, affinity, the partially executed instruction, and CPU-time
+accounting used by the experiments (which core ran what for how long).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Any, Dict, FrozenSet, Generator, List, Optional
+
+from repro.kernel.instructions import Instruction
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    TERMINATED = "terminated"
+
+
+class SimThread:
+    """A kernel-schedulable thread of execution.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, used in traces and deadlock reports.
+    body:
+        Generator yielding :class:`Instruction` objects.
+    affinity:
+        Optional set of core indices the thread may run on.
+    daemon:
+        Daemon threads do not count towards "the workload is finished"
+        (used for background service threads such as a concurrent GC).
+    """
+
+    _next_tid = 1
+
+    def __init__(self, name: str,
+                 body: Generator[Instruction, Any, Any],
+                 affinity: Optional[FrozenSet[int]] = None,
+                 daemon: bool = False) -> None:
+        self.tid = SimThread._next_tid
+        SimThread._next_tid += 1
+        self.name = name
+        self.body = body
+        self.affinity: Optional[FrozenSet[int]] = (
+            frozenset(affinity) if affinity is not None else None)
+        self.daemon = daemon
+
+        self.state = ThreadState.NEW
+        #: Index of the core this thread last ran on (placement hint).
+        self.last_core: Optional[int] = None
+        #: Time the thread last executed a compute slice; used by the
+        #: load balancer's cache-hotness check.
+        self.last_ran_at: Optional[float] = None
+        #: Core of the parent at Spawn time; Linux-2.4-style fork
+        #: placement starts the child on its parent's core.
+        self.spawn_core_hint: Optional[int] = None
+        #: The in-flight instruction, if any.
+        self.current_instruction: Optional[Instruction] = None
+        #: Cycles still to retire for an in-flight Compute.
+        self.remaining_cycles = 0.0
+        #: Value to send into the generator at the next resume.
+        self.send_value: Any = None
+        #: CPU seconds consumed from the current scheduling quantum;
+        #: accumulates across instructions, reset on requeue/wakeup.
+        self.quantum_used = 0.0
+        #: Return value of the body once terminated.
+        self.return_value: Any = None
+        #: Threads blocked in Join() on this thread.
+        self.joiners: List["SimThread"] = []
+        #: Why the thread is blocked (debugging / deadlock reports).
+        self.block_reason: Optional[str] = None
+
+        # -------------------------- accounting -------------------------
+        self.spawn_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.cpu_seconds = 0.0
+        self.cycles_retired = 0.0
+        self.migrations = 0
+        self.preemptions = 0
+        #: Busy seconds broken down by core index.
+        self.core_seconds: Dict[int, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    @property
+    def terminated(self) -> bool:
+        return self.state is ThreadState.TERMINATED
+
+    @property
+    def runnable(self) -> bool:
+        return self.state in (ThreadState.READY, ThreadState.RUNNING)
+
+    def allowed_on(self, core_index: int) -> bool:
+        """May this thread execute on the given core?"""
+        return self.affinity is None or core_index in self.affinity
+
+    def account_execution(self, core_index: int, seconds: float,
+                          cycles: float) -> None:
+        """Record a completed execution slice."""
+        self.cpu_seconds += seconds
+        self.cycles_retired += cycles
+        self.core_seconds[core_index] += seconds
+
+    def lifetime(self) -> Optional[float]:
+        """Spawn-to-finish wall time, if the thread has terminated."""
+        if self.spawn_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.spawn_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimThread(tid={self.tid}, name={self.name!r}, "
+                f"state={self.state.value})")

@@ -1,0 +1,51 @@
+"""Simulated multiprocessor hardware (the paper's 4-way Xeon prototype).
+
+Public surface:
+
+* :class:`~repro.machine.core.Core` — one processor with duty-cycle speed.
+* :class:`~repro.machine.topology.Machine` / ``MachineConfig`` — a whole
+  multiprocessor parsed from the paper's ``nf-ms/scale`` labels.
+* :data:`~repro.machine.topology.STANDARD_CONFIG_LABELS` — the nine
+  evaluation configurations.
+* :func:`~repro.machine.validate.validate_machine` — micro-benchmark
+  check of the emulated asymmetry (paper §2/§3).
+"""
+
+from repro.machine.core import DEFAULT_FREQUENCY_HZ, Core
+from repro.machine.duty_cycle import (
+    SUPPORTED_DUTY_CYCLES,
+    ClockModulation,
+    duty_cycle_for_scale,
+    snap_duty_cycle,
+)
+from repro.machine.topology import (
+    ASYMMETRIC_CONFIG_LABELS,
+    STANDARD_CONFIG_LABELS,
+    SYMMETRIC_CONFIG_LABELS,
+    Machine,
+    MachineConfig,
+    standard_configs,
+)
+from repro.machine.validate import (
+    CoreValidation,
+    run_microbenchmark,
+    validate_machine,
+)
+
+__all__ = [
+    "Core",
+    "DEFAULT_FREQUENCY_HZ",
+    "ClockModulation",
+    "SUPPORTED_DUTY_CYCLES",
+    "snap_duty_cycle",
+    "duty_cycle_for_scale",
+    "Machine",
+    "MachineConfig",
+    "standard_configs",
+    "STANDARD_CONFIG_LABELS",
+    "SYMMETRIC_CONFIG_LABELS",
+    "ASYMMETRIC_CONFIG_LABELS",
+    "CoreValidation",
+    "run_microbenchmark",
+    "validate_machine",
+]

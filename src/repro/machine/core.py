@@ -1,0 +1,88 @@
+"""A single processor core with duty-cycle controlled speed.
+
+Work throughout the library is expressed in *cycles*.  A core converts
+cycles to simulated seconds through its effective rate::
+
+    effective_rate = base_frequency_hz * duty_cycle   [cycles / second]
+
+The default base frequency matches the paper's 2.8 GHz Xeons.  Nothing
+downstream depends on the absolute value — only on ratios between cores
+— but using the real number keeps reported times in a familiar range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.duty_cycle import ClockModulation
+
+#: Base clock of the paper's 4-way Xeon prototype (§2).
+DEFAULT_FREQUENCY_HZ = 2.8e9
+
+
+class Core:
+    """One processor core.
+
+    Parameters
+    ----------
+    index:
+        Position of this core in the machine (0-based).
+    duty_cycle:
+        Initial duty cycle in (0, 1]; snapped to hardware steps.
+    frequency_hz:
+        Base clock frequency before modulation.
+    """
+
+    def __init__(self, index: int, duty_cycle: float = 1.0,
+                 frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError(
+                f"core frequency must be positive, got {frequency_hz}")
+        self.index = index
+        self.frequency_hz = frequency_hz
+        self.modulation = ClockModulation(duty_cycle)
+        #: Accumulated busy time in simulated seconds (kernel-maintained).
+        self.busy_time = 0.0
+        #: The thread currently executing here, if any (kernel-maintained).
+        self.current_thread: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def duty_cycle(self) -> float:
+        return self.modulation.duty_cycle
+
+    @property
+    def rate(self) -> float:
+        """Effective cycle rate in cycles/second."""
+        return self.frequency_hz * self.modulation.duty_cycle
+
+    @property
+    def relative_speed(self) -> float:
+        """Speed relative to an unmodulated core of the same frequency."""
+        return self.modulation.duty_cycle
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Wall time this core needs to retire ``cycles``."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        return cycles / self.rate
+
+    def cycles_in_seconds(self, seconds: float) -> float:
+        """Cycles this core retires in ``seconds`` of busy execution."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        return seconds * self.rate
+
+    def set_duty_cycle(self, fraction: float) -> float:
+        """Program the modulation register; returns the snapped value."""
+        return self.modulation.program(fraction)
+
+    @property
+    def is_fast(self) -> bool:
+        """True when the core runs unmodulated (a "fast" core)."""
+        return self.modulation.duty_cycle >= 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Core(index={self.index}, duty={self.duty_cycle:.3f}, "
+                f"rate={self.rate:.3e}Hz)")

@@ -1,0 +1,76 @@
+"""Clock duty-cycle modulation (the paper's asymmetry knob).
+
+The paper emulates slow cores on real Xeon hardware by programming the
+clock-modulation register: the clock drives the core only for a duty
+fraction of each modulation window, and the core is stopped for the
+rest.  Only the processor slows down — caches beyond the core, the
+coherence network and DRAM keep running at full speed (paper §2), which
+is why the authors argue duty-cycle modulation is a faithful emulation
+of *compute* asymmetry.
+
+We model the same abstraction: a core's effective cycle rate is its
+base frequency multiplied by the duty cycle.  The hardware supports a
+discrete set of steps (12.5% increments); arbitrary fractions are
+snapped to the nearest supported step exactly as the prototype would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Modulation steps supported by the paper's hardware (§2), plus 100%
+#: (modulation disabled).  The paper lists 12.5, 25, 37.5, 50, 63.5
+#: ("63.5" in the text is the hardware's 62.5% step), 75 and 87.5.
+SUPPORTED_DUTY_CYCLES = (
+    0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0,
+)
+
+
+def snap_duty_cycle(fraction: float) -> float:
+    """Snap ``fraction`` to the nearest hardware-supported duty cycle.
+
+    Raises :class:`ConfigurationError` for values outside (0, 1].
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(
+            f"duty cycle must be in (0, 1], got {fraction}")
+    return min(SUPPORTED_DUTY_CYCLES, key=lambda step: abs(step - fraction))
+
+
+def duty_cycle_for_scale(scale: int) -> float:
+    """Duty cycle that slows a core down by a factor of ``scale``.
+
+    The paper's configurations use 1/4 (25% duty) and 1/8 (12.5% duty)
+    scaling.  Any positive integer scale is accepted; the result is the
+    snapped 1/scale fraction.
+    """
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    return snap_duty_cycle(1.0 / scale)
+
+
+class ClockModulation:
+    """Per-core modulation register, as programmed by the paper's driver.
+
+    The paper's Windows driver and Linux module write the clock
+    modulation MSR from privileged mode; this class is that register.
+    """
+
+    def __init__(self, duty_cycle: float = 1.0) -> None:
+        self._duty_cycle = snap_duty_cycle(duty_cycle)
+
+    @property
+    def duty_cycle(self) -> float:
+        return self._duty_cycle
+
+    def program(self, fraction: float) -> float:
+        """Write the register; returns the snapped value actually set."""
+        self._duty_cycle = snap_duty_cycle(fraction)
+        return self._duty_cycle
+
+    def disable(self) -> None:
+        """Turn modulation off (full-speed clock)."""
+        self._duty_cycle = 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClockModulation(duty_cycle={self._duty_cycle})"

@@ -1,0 +1,60 @@
+"""Validation of emulated asymmetry via compute-bound micro-benchmarks.
+
+Paper §3: "Performance asymmetry was validated using runtimes of
+computationally intensive micro benchmarks."  We reproduce that check:
+run a fixed number of cycles on every core and verify each core's
+runtime ratio against the fastest matches its configured slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.machine.topology import Machine
+
+
+@dataclass(frozen=True)
+class CoreValidation:
+    """Validation result for one core."""
+
+    core_index: int
+    duty_cycle: float
+    runtime: float
+    expected_slowdown: float
+    measured_slowdown: float
+
+    @property
+    def error(self) -> float:
+        """Relative error of the measured slowdown."""
+        return abs(self.measured_slowdown - self.expected_slowdown) \
+            / self.expected_slowdown
+
+
+#: Cycles in the spin micro-benchmark: one second on a fast 2.8GHz core.
+MICROBENCH_CYCLES = 2.8e9
+
+
+def run_microbenchmark(machine: Machine,
+                       cycles: float = MICROBENCH_CYCLES
+                       ) -> List[CoreValidation]:
+    """Time a compute-bound spin loop on every core of ``machine``."""
+    fastest = machine.fastest_rate
+    results = []
+    for core in machine.cores:
+        runtime = core.seconds_for_cycles(cycles)
+        baseline = cycles / fastest
+        results.append(CoreValidation(
+            core_index=core.index,
+            duty_cycle=core.duty_cycle,
+            runtime=runtime,
+            expected_slowdown=fastest / core.rate,
+            measured_slowdown=runtime / baseline,
+        ))
+    return results
+
+
+def validate_machine(machine: Machine, tolerance: float = 1e-9) -> bool:
+    """True when every core's measured slowdown matches its duty cycle."""
+    return all(result.error <= tolerance
+               for result in run_microbenchmark(machine))

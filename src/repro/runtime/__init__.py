@@ -1,0 +1,32 @@
+"""Language/runtime substrates layered over the kernel.
+
+* :mod:`repro.runtime.openmp` — OpenMP-style loop scheduling
+  (static / dynamic / guided, ``nowait``).
+* :mod:`repro.runtime.threadpool` — generic worker pools.
+* :mod:`repro.runtime.gc` — managed heap + parallel / concurrent GC.
+* :mod:`repro.runtime.jvm` — JVM façade with JRockit/HotSpot presets.
+"""
+
+from repro.runtime.jvm import GCKind, ManagedRuntime, hotspot, jrockit
+from repro.runtime.openmp import (
+    Loop,
+    LoopSchedule,
+    OmpProgram,
+    OmpTeam,
+    Serial,
+)
+from repro.runtime.threadpool import Task, ThreadPool
+
+__all__ = [
+    "Loop",
+    "LoopSchedule",
+    "OmpProgram",
+    "OmpTeam",
+    "Serial",
+    "Task",
+    "ThreadPool",
+    "GCKind",
+    "ManagedRuntime",
+    "jrockit",
+    "hotspot",
+]

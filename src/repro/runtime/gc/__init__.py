@@ -1,0 +1,8 @@
+"""Garbage collection substrate: managed heap and the two collector
+families studied in paper §3.1."""
+
+from repro.runtime.gc.concurrent import ConcurrentCollector
+from repro.runtime.gc.heap import ManagedHeap
+from repro.runtime.gc.parallel import ParallelCollector
+
+__all__ = ["ManagedHeap", "ParallelCollector", "ConcurrentCollector"]

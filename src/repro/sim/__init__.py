@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Simulator` — virtual clock + event queue.
+* :class:`~repro.sim.events.Event` — cancellable scheduled callback.
+* :class:`~repro.sim.rng.RandomStream` / ``StreamRegistry`` — seeded,
+  named random streams.
+* :class:`~repro.sim.trace.Tracer` — structured trace collection.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStream, StreamRegistry, derive_seed
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStream",
+    "StreamRegistry",
+    "derive_seed",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,138 @@
+"""The discrete-event simulator core.
+
+A :class:`Simulator` owns the virtual clock and the event queue.  All
+higher layers (machine, kernel, runtimes, workloads) advance time only
+by scheduling events here — nothing in the library ever consults wall
+clock time, which is what makes every experiment exactly reproducible
+from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RandomStream, StreamRegistry
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Virtual clock plus deterministic event queue.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams used during this simulation.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._streams = StreamRegistry(seed)
+        self.tracer = Tracer()
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (a progress measure)."""
+        return self._events_fired
+
+    def stream(self, name: str) -> RandomStream:
+        """Named random stream (see :mod:`repro.sim.rng`)."""
+        return self._streams.stream(name)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule in the past: {delay}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}")
+        return self._queue.push(time, callback, args)
+
+    def pending_events(self) -> int:
+        """Number of live events currently scheduled."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        return self._queue.peek_time()
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without executing events.
+
+        Only legal up to (and including) the next pending event's time;
+        used by drivers that stop a run at a measurement boundary.
+        """
+        if time < self._now:
+            raise SimulationError("cannot advance the clock backwards")
+        next_time = self._queue.peek_time()
+        if next_time is not None and next_time < time:
+            raise SimulationError(
+                "cannot advance past a pending event")
+        self._now = time
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue time went backwards")
+        self._now = event.time
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        Returns the simulated time at which execution stopped.  When
+        ``until`` is given and the queue drains earlier, the clock is
+        advanced to ``until`` so that periodic measurements line up.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self._now

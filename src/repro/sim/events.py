@@ -1,0 +1,94 @@
+"""Event objects and the time-ordered event queue.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The sequence
+number makes ordering of simultaneous events deterministic: two events
+scheduled for the same instant fire in the order they were scheduled.
+Determinism matters because the whole reproduction depends on run-to-run
+variance coming *only* from explicitly seeded random streams, never from
+incidental tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventQueue.push` (and by
+    ``Simulator.schedule``) and can be cancelled.  Cancelled events stay
+    in the heap but are skipped when popped; this is the standard lazy
+    deletion trick and keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple,
+                 queue: "EventQueue") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            self._queue._live -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name} {state}>"
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: float, callback: Callable[..., Any],
+             args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time != time:  # NaN guard: a NaN time would corrupt the heap
+            raise SimulationError("event scheduled at NaN time")
+        event = Event(time, self._seq, callback, args, self)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

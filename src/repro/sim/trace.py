@@ -1,0 +1,74 @@
+"""Lightweight structured tracing for simulations.
+
+Tracing exists for two audiences: tests, which assert on sequences of
+kernel decisions (placements, migrations, preemptions), and humans
+debugging a workload model.  It is off by default and costs one ``if``
+per trace point when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace point: a timestamp, a category, and key/value details."""
+
+    time: float
+    category: str
+    details: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = {"time": self.time, "category": self.category}
+        record.update(dict(self.details))
+        return record
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects for enabled categories."""
+
+    def __init__(self) -> None:
+        self._enabled: set = set()
+        self._records: List[TraceRecord] = []
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+
+    def enable(self, *categories: str) -> None:
+        """Start recording the given categories (e.g. ``"sched"``)."""
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        for category in categories:
+            self._enabled.discard(category)
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Also forward records to ``sink`` (e.g. ``print``)."""
+        self._sinks.append(sink)
+
+    def enabled(self, category: str) -> bool:
+        return category in self._enabled
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Record a trace point if its category is enabled."""
+        if category not in self._enabled:
+            return
+        rec = TraceRecord(time, category, tuple(sorted(details.items())))
+        self._records.append(rec)
+        for sink in self._sinks:
+            sink(rec)
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally filtered by category."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,67 @@
+"""Workload interface shared by all eight benchmark models.
+
+A workload knows how to run itself once on a named machine
+configuration with a given seed, returning a :class:`RunResult` of
+metrics.  The experiment harness (:mod:`repro.experiments`) layers
+repeated runs, multiple configurations and statistics on top.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro._system import System
+from repro.kernel.scheduler import Scheduler
+
+#: Builds a fresh scheduler per run (schedulers are stateful).
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class RunResult:
+    """Metrics from a single workload run on one configuration."""
+
+    workload: str
+    config: str
+    seed: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"run of {self.workload!r} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}") from None
+
+
+class Workload(abc.ABC):
+    """A benchmark that can be run on any machine configuration."""
+
+    #: Workload name used in reports (e.g. "SPECjbb").
+    name: str = "workload"
+    #: The headline metric of the paper's figures for this workload.
+    primary_metric: str = "throughput"
+    #: True when larger primary-metric values are better (throughput);
+    #: False for runtimes.
+    higher_is_better: bool = True
+
+    def build_system(self, config: str, seed: int,
+                     scheduler_factory: Optional[SchedulerFactory] = None,
+                     ) -> System:
+        """Fresh simulated platform for one run."""
+        scheduler = scheduler_factory() if scheduler_factory else None
+        return System.build(config, seed=seed, scheduler=scheduler)
+
+    @abc.abstractmethod
+    def run_once(self, config: str, seed: int = 0,
+                 scheduler_factory: Optional[SchedulerFactory] = None,
+                 ) -> RunResult:
+        """Run the workload once; return its metrics."""
+
+    def result(self, config: str, seed: int,
+               **metrics: float) -> RunResult:
+        """Convenience constructor for :class:`RunResult`."""
+        return RunResult(self.name, config, seed, dict(metrics))

@@ -1,0 +1,139 @@
+"""SPECjbb2000 model (paper §3.1).
+
+SPECjbb is a server-side Java OLTP benchmark: each *warehouse* is a
+terminal thread issuing business transactions against a memory-resident
+backend; throughput in business operations per second is the metric.
+Concurrency rises with the warehouse count.
+
+The model captures the structure the paper's analysis identified as
+decisive:
+
+* warehouse threads are CPU-bound transaction loops that allocate on
+  every transaction;
+* a managed runtime (JRockit or HotSpot preset) collects garbage with
+  either a stop-the-world **parallel** collector or a single-threaded
+  generational **concurrent** collector;
+* when allocation outruns collection, every mutator stalls until the
+  collector catches up — and how badly collection lags depends on
+  which core the kernel happened to give the collector thread.
+
+That last interaction is the paper's Figure 1/2 story: unstable
+throughput on asymmetric machines with the concurrent collector under
+the stock scheduler, fixed by the asymmetry-aware kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.instructions import Compute
+from repro.kernel.thread import SimThread
+from repro.runtime.jvm import GCKind, ManagedRuntime, hotspot, jrockit
+from repro.workloads.base import RunResult, SchedulerFactory, Workload
+
+MB = 1e6
+
+
+class _Counter:
+    """Shared transaction counter with a warmup snapshot."""
+
+    def __init__(self) -> None:
+        self.transactions = 0
+        self.at_warmup_end = 0
+
+
+class SpecJBB(Workload):
+    """SPECjbb2000 behavioural model.
+
+    Parameters
+    ----------
+    warehouses:
+        Number of terminal threads (concurrency knob; the paper sweeps
+        1-20).
+    vm:
+        "jrockit" or "hotspot" preset.
+    gc:
+        Collector family (paper studies both).
+    measurement_seconds / warmup_seconds:
+        Simulated steady-state window; throughput is measured after
+        warmup.
+    transaction_cycles:
+        Mean CPU work per business operation (fast-core cycles).
+    allocation_per_transaction:
+        Heap bytes allocated per operation (GC pressure knob).
+    """
+
+    name = "SPECjbb"
+    primary_metric = "throughput"
+    higher_is_better = True
+
+    def __init__(self, warehouses: int = 8,
+                 vm: str = "jrockit",
+                 gc: GCKind = GCKind.CONCURRENT,
+                 measurement_seconds: float = 2.0,
+                 warmup_seconds: float = 0.3,
+                 transaction_cycles: float = 2.8e6,
+                 transaction_jitter: float = 0.05,
+                 allocation_per_transaction: float = 15e3,
+                 heap_capacity: float = 24 * MB,
+                 live_bytes: float = 8 * MB) -> None:
+        if warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        self.warehouses = warehouses
+        self.vm = vm
+        self.gc = gc
+        self.measurement_seconds = measurement_seconds
+        self.warmup_seconds = warmup_seconds
+        self.transaction_cycles = transaction_cycles
+        self.transaction_jitter = transaction_jitter
+        self.allocation_per_transaction = allocation_per_transaction
+        self.heap_capacity = heap_capacity
+        self.live_bytes = live_bytes
+
+    # ------------------------------------------------------------------
+    def _build_vm(self, system) -> ManagedRuntime:
+        factory = {"jrockit": jrockit, "hotspot": hotspot}.get(self.vm)
+        if factory is None:
+            raise ValueError(f"unknown VM preset {self.vm!r}")
+        return factory(system, gc=self.gc,
+                       heap_capacity=self.heap_capacity,
+                       live_bytes=self.live_bytes)
+
+    def _warehouse_body(self, rng, vm: ManagedRuntime, counter: _Counter):
+        while True:
+            yield Compute(rng.jitter(self.transaction_cycles,
+                                     self.transaction_jitter))
+            yield from vm.allocate(self.allocation_per_transaction)
+            counter.transactions += 1
+
+    # ------------------------------------------------------------------
+    def run_once(self, config: str, seed: int = 0,
+                 scheduler_factory: Optional[SchedulerFactory] = None,
+                 ) -> RunResult:
+        system = self.build_system(config, seed, scheduler_factory)
+        vm = self._build_vm(system)
+        counter = _Counter()
+        rng = system.sim.stream("specjbb.tx")
+        for wid in range(self.warehouses):
+            system.kernel.spawn(SimThread(
+                f"warehouse-{wid}",
+                self._warehouse_body(rng, vm, counter),
+                daemon=True))
+
+        def snapshot_warmup():
+            counter.at_warmup_end = counter.transactions
+
+        system.sim.schedule(self.warmup_seconds, snapshot_warmup)
+        end = self.warmup_seconds + self.measurement_seconds
+        system.run(until=end)
+
+        measured = counter.transactions - counter.at_warmup_end
+        throughput = measured / self.measurement_seconds
+        return self.result(
+            config, seed,
+            throughput=throughput,
+            transactions=float(measured),
+            gc_stall_time=vm.stall_time,
+            gc_stalls=float(vm.stall_count),
+            gc_collections=float(vm.collections),
+        )

@@ -1,0 +1,29 @@
+"""SPEC OMP scientific suite on the OpenMP runtime (paper §3.5)."""
+
+from repro.workloads.specomp.specs import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BenchmarkSpec,
+    MODIFIED_OVERHEAD,
+    build_modified_program,
+    build_program,
+    spec_for,
+)
+from repro.workloads.specomp.workload import (
+    VARIANTS,
+    SpecOmpBenchmark,
+    suite,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "MODIFIED_OVERHEAD",
+    "spec_for",
+    "build_program",
+    "build_modified_program",
+    "SpecOmpBenchmark",
+    "VARIANTS",
+    "suite",
+]

@@ -1,0 +1,139 @@
+"""Structural models of the SPEC OMPM2001 benchmarks (paper §3.5).
+
+Each benchmark is described by the loop/serial structure that decides
+its behaviour on an asymmetric machine.  The paper's analysis gives us
+the load-bearing facts:
+
+* the suite is dominated by statically parallelized do-all loops with
+  an implicit end-of-loop barrier;
+* **ammp** has "seven large parallel tasks", each a parallel for-loop
+  over (six) large iterations — with OpenMP's default static chunking
+  the first two threads get two iterations each, the last two one
+  each, which on 2f-2s/8 happens to put the double chunks on the fast
+  cores (the "lucky" mapping the paper observed);
+* **galgel** has "30 parallel regions with short loop bodies"; its
+  three hottest regions carry ``nowait`` and many of its loops use
+  guided self-scheduling;
+* every program has a small serial fraction between regions, which is
+  what the fast core accelerates (the paper's point 3).
+
+Total work values are scaled ~1:100 from the figure's hundreds of
+seconds so simulations stay cheap; all *relative* comparisons are
+preserved.  gafort is absent for the same reason it is absent from
+Figure 8: "gafort is not shown because of compilation issues."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.machine.core import DEFAULT_FREQUENCY_HZ
+from repro.runtime.openmp import Loop, LoopSchedule, OmpProgram, Serial
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Loop structure of one SPEC OMP benchmark."""
+
+    name: str
+    #: Parallel regions (loops) in the program.
+    regions: int
+    #: Iterations of each region's loop.
+    iterations: int
+    #: Total parallel work in fast-core seconds (all regions).
+    parallel_seconds: float
+    #: Serial fraction of total single-thread work.
+    serial_fraction: float
+    #: Default schedule of the unmodified source.
+    schedule: LoopSchedule = LoopSchedule.STATIC
+    #: Indices of regions carrying ``nowait``.
+    nowait_regions: Tuple[int, ...] = ()
+    #: Indices of regions using guided self-scheduling.
+    guided_regions: Tuple[int, ...] = ()
+
+
+#: The nine benchmarks of Figure 8 (suite order).
+BENCHMARKS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec("wupwise", regions=12, iterations=64,
+                  parallel_seconds=3.5, serial_fraction=0.03),
+    BenchmarkSpec("swim", regions=8, iterations=128,
+                  parallel_seconds=2.2, serial_fraction=0.02),
+    BenchmarkSpec("mgrid", regions=16, iterations=64,
+                  parallel_seconds=2.8, serial_fraction=0.02),
+    BenchmarkSpec("applu", regions=20, iterations=48,
+                  parallel_seconds=3.4, serial_fraction=0.04),
+    BenchmarkSpec("galgel", regions=30, iterations=16,
+                  parallel_seconds=2.4, serial_fraction=0.03,
+                  nowait_regions=(3, 11, 19),
+                  guided_regions=tuple(range(0, 30, 2))),
+    BenchmarkSpec("equake", regions=10, iterations=96,
+                  parallel_seconds=2.6, serial_fraction=0.05),
+    BenchmarkSpec("apsi", regions=14, iterations=64,
+                  parallel_seconds=3.0, serial_fraction=0.03),
+    BenchmarkSpec("fma3d", regions=12, iterations=80,
+                  parallel_seconds=4.2, serial_fraction=0.02),
+    BenchmarkSpec("art", regions=6, iterations=128,
+                  parallel_seconds=1.8, serial_fraction=0.04),
+    BenchmarkSpec("ammp", regions=7, iterations=6,
+                  parallel_seconds=5.2, serial_fraction=0.04),
+)
+
+BENCHMARK_NAMES: Tuple[str, ...] = tuple(b.name for b in BENCHMARKS)
+
+
+def spec_for(name: str) -> BenchmarkSpec:
+    for spec in BENCHMARKS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no such SPEC OMP benchmark: {name!r}")
+
+
+def build_program(spec: BenchmarkSpec,
+                  frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+                  ) -> OmpProgram:
+    """The unmodified (reference) source as an OmpProgram."""
+    total_parallel = spec.parallel_seconds * frequency_hz
+    per_region = total_parallel / spec.regions
+    per_iteration = per_region / spec.iterations
+    serial_total = total_parallel * spec.serial_fraction \
+        / (1.0 - spec.serial_fraction)
+    serial_chunk = serial_total / (spec.regions + 1)
+
+    items: List = [Serial(serial_chunk, name=f"{spec.name}-init")]
+    for region in range(spec.regions):
+        schedule = spec.schedule
+        if region in spec.guided_regions:
+            schedule = LoopSchedule.GUIDED
+        items.append(Loop(
+            spec.iterations, per_iteration, schedule=schedule,
+            nowait=region in spec.nowait_regions,
+            name=f"{spec.name}-r{region}"))
+        # Serial glue between regions (I/O, reductions, copy loops).
+        # A nowait region flows into the next loop without one.
+        if region not in spec.nowait_regions:
+            items.append(Serial(serial_chunk,
+                                name=f"{spec.name}-s{region}"))
+    return OmpProgram(items, name=spec.name)
+
+
+#: Work inflation of the paper's modified sources: converting every
+#: loop to dynamic scheduling defeats static compiler optimizations,
+#: so "these runtimes are higher than Figure 8(a) ... our
+#: modifications were not focused on performance tuning".
+MODIFIED_OVERHEAD = 1.10
+
+
+def build_modified_program(spec: BenchmarkSpec,
+                           frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+                           ) -> OmpProgram:
+    """The paper's fix: every loop dynamic, with a large chunk size
+    for loops with many iterations "to reduce allocation overhead"."""
+    reference = build_program(spec, frequency_hz)
+    chunk = max(1, spec.iterations // 16)
+    modified = reference.with_schedule(LoopSchedule.DYNAMIC, chunk=chunk)
+    for item in modified.items:
+        if isinstance(item, Loop):
+            base = item.cycles_per_iteration
+            item.cycles_per_iteration = base * MODIFIED_OVERHEAD
+    return modified

@@ -1,0 +1,62 @@
+"""SPEC OMP workload drivers (paper §3.5, Figure 8)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import WorkloadError
+from repro.runtime.openmp import OmpTeam
+from repro.workloads.base import RunResult, SchedulerFactory, Workload
+from repro.workloads.specomp.specs import (
+    BENCHMARK_NAMES,
+    build_modified_program,
+    build_program,
+    spec_for,
+)
+
+#: The two source variants of Figure 8.
+VARIANTS = ("reference", "modified")
+
+
+class SpecOmpBenchmark(Workload):
+    """One SPEC OMP benchmark under a pinned OpenMP team.
+
+    ``variant="reference"`` is the unmodified source (Figure 8(a));
+    ``variant="modified"`` applies the paper's dynamic-parallelization
+    directives (Figure 8(b)).
+    """
+
+    primary_metric = "runtime"
+    higher_is_better = False
+
+    def __init__(self, benchmark: str, variant: str = "reference",
+                 pin: bool = True) -> None:
+        if variant not in VARIANTS:
+            raise WorkloadError(f"variant must be one of {VARIANTS}")
+        self.spec = spec_for(benchmark)
+        self.variant = variant
+        self.pin = pin
+        self.name = f"OMP-{benchmark}"
+
+    def run_once(self, config: str, seed: int = 0,
+                 scheduler_factory: Optional[SchedulerFactory] = None,
+                 ) -> RunResult:
+        system = self.build_system(config, seed, scheduler_factory)
+        frequency = system.machine.frequency_hz
+        if self.variant == "reference":
+            program = build_program(self.spec, frequency)
+        else:
+            program = build_modified_program(self.spec, frequency)
+        team = OmpTeam(system, pin=self.pin)
+        elapsed = team.execute(program)
+        return RunResult(self.name, config, seed, {
+            "runtime": elapsed,
+            "serial_fraction": program.serial_fraction(),
+            "chunks": float(sum(team.chunks_taken)),
+        })
+
+
+def suite(variant: str = "reference") -> Dict[str, SpecOmpBenchmark]:
+    """All nine benchmarks of Figure 8, in suite order."""
+    return {name: SpecOmpBenchmark(name, variant=variant)
+            for name in BENCHMARK_NAMES}

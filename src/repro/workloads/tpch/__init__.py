@@ -1,0 +1,28 @@
+"""TPC-H on a DB2-style database server (paper §3.3)."""
+
+from repro.workloads.tpch.engine import DatabaseServer
+from repro.workloads.tpch.queries import (
+    LOW_OPT_DEGREE,
+    MAX_OPT_DEGREE,
+    QueryPlan,
+    SubQuery,
+    all_queries,
+    build_plan,
+    plan_cost_seconds,
+    plan_skew,
+)
+from repro.workloads.tpch.workload import TpchPowerRun, TpchQuery
+
+__all__ = [
+    "DatabaseServer",
+    "QueryPlan",
+    "SubQuery",
+    "build_plan",
+    "plan_cost_seconds",
+    "plan_skew",
+    "all_queries",
+    "MAX_OPT_DEGREE",
+    "LOW_OPT_DEGREE",
+    "TpchPowerRun",
+    "TpchQuery",
+]

@@ -1,0 +1,29 @@
+"""Web server workloads: Apache (pre-fork) and Zeus (event-driven),
+driven by an ApacheBench-style closed-loop client (paper §3.4)."""
+
+from repro.workloads.webserver.apache import (
+    DEFAULT_RECYCLE_AFTER,
+    FINE_GRAINED_RECYCLE_AFTER,
+    ApacheServer,
+)
+from repro.workloads.webserver.client import (
+    HEAVY_LOAD_CONCURRENCY,
+    LIGHT_LOAD_CONCURRENCY,
+    ClosedLoopClient,
+    Request,
+)
+from repro.workloads.webserver.workload import ApacheWorkload, ZeusWorkload
+from repro.workloads.webserver.zeus import ZeusServer
+
+__all__ = [
+    "ApacheServer",
+    "ZeusServer",
+    "ClosedLoopClient",
+    "Request",
+    "ApacheWorkload",
+    "ZeusWorkload",
+    "LIGHT_LOAD_CONCURRENCY",
+    "HEAVY_LOAD_CONCURRENCY",
+    "DEFAULT_RECYCLE_AFTER",
+    "FINE_GRAINED_RECYCLE_AFTER",
+]

@@ -1,0 +1,184 @@
+"""Tests for statistics, classification and the Amdahl model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    Classification,
+    asymmetric_advantage,
+    classify,
+    execution_time,
+    percentile,
+    scaling_fit,
+    speedup,
+    speedup_over,
+    summarize,
+)
+from repro.machine import STANDARD_CONFIG_LABELS, MachineConfig
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.spread == 2.0
+        assert summary.n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cov_of_constant_sample_is_zero(self):
+        assert summarize([5.0, 5.0, 5.0]).cov == 0.0
+
+    def test_cov_handles_zero_mean(self):
+        assert summarize([-1.0, 1.0]).cov == 0.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6),
+                    min_size=1, max_size=30))
+    def test_mean_within_bounds(self, values):
+        summary = summarize(values)
+        slack = 1e-9 * max(abs(summary.minimum), abs(summary.maximum))
+        assert summary.minimum - slack <= summary.mean \
+            <= summary.maximum + slack
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6),
+                    min_size=2, max_size=30))
+    def test_std_nonnegative(self, values):
+        assert summarize(values).std >= 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_extremes(self):
+        values = list(range(1, 11))
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestSpeedup:
+    def test_throughput_speedup(self):
+        assert speedup_over(100.0, 200.0, higher_is_better=True) == 2.0
+
+    def test_runtime_speedup(self):
+        assert speedup_over(100.0, 50.0, higher_is_better=False) == 2.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_over(0.0, 1.0, True)
+
+
+class TestScalingFit:
+    def test_perfectly_linear_throughput(self):
+        points = {label: 100.0 * MachineConfig.parse(label)
+                  .total_compute_power
+                  for label in STANDARD_CONFIG_LABELS}
+        fit = scaling_fit(points, higher_is_better=True)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(100.0)
+
+    def test_runtime_metric_inverted(self):
+        # runtime inversely proportional to power -> perfect fit.
+        points = {label: 10.0 / MachineConfig.parse(label)
+                  .total_compute_power
+                  for label in STANDARD_CONFIG_LABELS}
+        fit = scaling_fit(points, higher_is_better=False)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_flat_performance_has_zero_correlation(self):
+        points = {label: 42.0 for label in STANDARD_CONFIG_LABELS}
+        fit = scaling_fit(points, higher_is_better=True)
+        assert fit.correlation == 0.0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            scaling_fit({"4f-0s": 1.0}, True)
+
+
+class TestClassify:
+    def _samples(self, asym_cov):
+        samples = {}
+        for label in STANDARD_CONFIG_LABELS:
+            power = MachineConfig.parse(label).total_compute_power
+            base = 100.0 * power
+            config = MachineConfig.parse(label)
+            if config.is_symmetric:
+                samples[label] = [base, base * 1.001]
+            else:
+                samples[label] = [base * (1 - asym_cov),
+                                  base * (1 + asym_cov)]
+        return samples
+
+    def test_stable_scalable_workload(self):
+        result = classify("w", self._samples(0.001),
+                          higher_is_better=True)
+        assert isinstance(result, Classification)
+        assert result.predictable
+        assert result.scalable
+
+    def test_unstable_workload(self):
+        result = classify("w", self._samples(0.30),
+                          higher_is_better=True)
+        assert not result.predictable
+        assert result.worst_asymmetric_cov > 0.2
+        assert result.worst_symmetric_cov < 0.01
+
+    def test_unscalable_workload(self):
+        samples = {label: [50.0, 50.1]
+                   for label in STANDARD_CONFIG_LABELS}
+        result = classify("w", samples, higher_is_better=True)
+        assert not result.scalable
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify("w", {}, True)
+
+    def test_as_row_format(self):
+        row = classify("w", self._samples(0.001), True).as_row()
+        assert row["predictable"] == "Yes"
+        assert row["workload"] == "w"
+
+
+class TestAmdahl:
+    def test_no_serial_fraction_uses_aggregate_power(self):
+        time = execution_time("2f-2s/8", serial_fraction=0.0)
+        assert time == pytest.approx(1.0 / 2.25)
+
+    def test_fully_serial_uses_fastest_core(self):
+        assert execution_time("1f-3s/8", 1.0) == pytest.approx(1.0)
+        assert execution_time("0f-4s/8", 1.0) == pytest.approx(8.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            execution_time("4f-0s", 1.5)
+
+    def test_speedup_baseline(self):
+        assert speedup("0f-4s/8", 0.1, baseline="0f-4s/8") == 1.0
+
+    def test_asymmetric_advantage_grows_with_serial_fraction(self):
+        low = asymmetric_advantage(serial_fraction=0.01)
+        high = asymmetric_advantage(serial_fraction=0.30)
+        assert high > low > 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_asymmetric_machine_never_slower_than_all_slow(self, f):
+        # Point 3 of the paper, as a property: replacing a slow core
+        # with a fast one never hurts.
+        asym = execution_time("1f-3s/8", f)
+        all_slow = execution_time("0f-4s/8", f)
+        assert asym <= all_slow + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.sampled_from(list(STANDARD_CONFIG_LABELS)))
+    def test_execution_time_positive(self, f, label):
+        assert execution_time(label, f) > 0.0

@@ -1,0 +1,99 @@
+"""CLI entry point and cross-module integration tests."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.workloads import SpecJBB, TpchPowerRun
+from repro.workloads.webserver.client import ClosedLoopClient, Request
+from repro._system import System
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table1" in out
+
+    def test_validate(self, capsys):
+        assert cli_main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "8.00" in out  # the 1/8 duty-cycle slowdown
+
+    def test_unknown_exhibit(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_single_exhibit_runs(self, capsys):
+        assert cli_main(["fig09"]) == 0
+        out = capsys.readouterr().out
+        assert "PMAKE" in out
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig09", "--profile", "huge"])
+
+
+class TestClientEdgeCases:
+    def test_zero_concurrency_rejected(self):
+        system = System.build("4f-0s")
+
+        class NullServer:
+            def submit(self, request):
+                request.finish_time = system.now
+                request.on_done(request)
+
+        with pytest.raises(ValueError):
+            ClosedLoopClient(system, NullServer(), 0)
+
+    def test_measurement_window_bounds_counting(self):
+        system = System.build("4f-0s")
+        served = []
+
+        class EchoServer:
+            def submit(self, request):
+                # Serve instantly after 1ms simulated latency.
+                def done():
+                    request.finish_time = system.now
+                    served.append(request)
+                    request.on_done(request)
+                system.sim.schedule(0.001, done)
+
+        client = ClosedLoopClient(system, EchoServer(), 2,
+                                  network_delay=0.001)
+        client.start()
+        client.measure(warmup=0.1, duration=0.5)
+        system.run(until=0.7)
+        # Requests completed, but only those inside [0.1, 0.6] counted.
+        assert 0 < client.measured_count < len(served)
+        assert client.throughput(0.5) == client.measured_count / 0.5
+
+    def test_request_response_time(self):
+        request = Request(0, 1.0, lambda r: None)
+        assert request.response_time is None
+        request.finish_time = 1.5
+        assert request.response_time == pytest.approx(0.5)
+
+
+class TestCrossWorkloadIntegration:
+    def test_workloads_share_no_state_between_runs(self):
+        # Running one workload must not perturb another's results.
+        jbb = SpecJBB(warehouses=4, measurement_seconds=0.5)
+        baseline = jbb.run_once("2f-2s/8", seed=9).metric("throughput")
+        TpchPowerRun(4, 7, queries=[1]).run_once("2f-2s/8", seed=9)
+        again = jbb.run_once("2f-2s/8", seed=9).metric("throughput")
+        assert again == baseline
+
+    def test_run_result_metric_error_message(self):
+        result = TpchPowerRun(4, 7, queries=[1]).run_once("4f-0s")
+        with pytest.raises(KeyError, match="no metric"):
+            result.metric("latency")
+
+    def test_primary_metrics_declared(self):
+        from repro.workloads import (
+            ApacheWorkload, H264Encoder, Pmake, SpecJAppServer,
+            ZeusWorkload,
+        )
+        throughput_kind = (SpecJBB(warehouses=1), SpecJAppServer(),
+                           ApacheWorkload(), ZeusWorkload())
+        runtime_kind = (TpchPowerRun(), H264Encoder(), Pmake())
+        assert all(w.higher_is_better for w in throughput_kind)
+        assert not any(w.higher_is_better for w in runtime_kind)

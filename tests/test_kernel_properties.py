@@ -1,0 +1,135 @@
+"""Property-based tests of kernel invariants.
+
+These drive randomized programs through the kernel and check the
+conservation laws any correct scheduler must obey, regardless of
+policy or machine shape.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import System
+from repro.kernel import (
+    AsymmetryAwareScheduler,
+    Compute,
+    SimThread,
+    Sleep,
+    SymmetricScheduler,
+    ThreadState,
+    YieldCPU,
+)
+from repro.machine import STANDARD_CONFIG_LABELS
+
+CONFIGS = st.sampled_from(list(STANDARD_CONFIG_LABELS))
+SCHEDULERS = st.sampled_from([None, SymmetricScheduler,
+                              AsymmetryAwareScheduler])
+
+# Cycle values span instantaneous to multi-quantum work.
+CYCLES = st.floats(min_value=0, max_value=1e9)
+
+
+def mixed_body(cycles_list, sleep_between):
+    for cycles in cycles_list:
+        yield Compute(cycles)
+        if sleep_between:
+            yield Sleep(0.001)
+        else:
+            yield YieldCPU()
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=CONFIGS,
+       scheduler=SCHEDULERS,
+       seed=st.integers(0, 2**16),
+       workloads=st.lists(st.lists(CYCLES, min_size=1, max_size=4),
+                          min_size=1, max_size=6),
+       sleepy=st.booleans())
+def test_cycles_are_conserved(config, scheduler, seed, workloads,
+                              sleepy):
+    """Every cycle yielded as Compute is retired exactly once."""
+    system = System.build(config, seed=seed,
+                          scheduler=scheduler() if scheduler else None)
+    threads = []
+    for index, cycles_list in enumerate(workloads):
+        thread = SimThread(f"t{index}",
+                           mixed_body(cycles_list, sleepy))
+        threads.append((thread, sum(cycles_list)))
+        system.kernel.spawn(thread)
+    system.run()
+    for thread, expected in threads:
+        assert thread.state is ThreadState.TERMINATED
+        assert thread.cycles_retired == pytest.approx(expected, abs=2.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=CONFIGS, scheduler=SCHEDULERS, seed=st.integers(0, 2**16),
+       workloads=st.lists(st.lists(CYCLES, min_size=1, max_size=4),
+                          min_size=1, max_size=6))
+def test_busy_time_matches_thread_cpu_time(config, scheduler, seed,
+                                           workloads):
+    """Per-core busy time equals the sum of thread execution there."""
+    system = System.build(config, seed=seed,
+                          scheduler=scheduler() if scheduler else None)
+    for index, cycles_list in enumerate(workloads):
+        system.kernel.spawn(SimThread(f"t{index}",
+                                      mixed_body(cycles_list, False)))
+    system.run()
+    per_core = {core.index: 0.0 for core in system.machine.cores}
+    for thread in system.kernel.threads:
+        for core_index, seconds in thread.core_seconds.items():
+            per_core[core_index] += seconds
+    for core in system.machine.cores:
+        assert core.busy_time == pytest.approx(per_core[core.index],
+                                               abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=CONFIGS, seed=st.integers(0, 2**16),
+       cycles=st.lists(CYCLES, min_size=1, max_size=8))
+def test_makespan_bounded_by_physics(config, seed, cycles):
+    """Makespan is between ideal (aggregate rate) and worst case
+    (everything serialized on the slowest core)."""
+    system = System.build(config, seed=seed)
+    for index, work in enumerate(cycles):
+        system.kernel.spawn(SimThread(f"t{index}", mixed_body([work],
+                                                              False)))
+    finish = system.run()
+    total = sum(cycles)
+    ideal = total / system.machine.total_rate
+    worst = total / system.machine.slowest_rate
+    assert ideal - 1e-9 <= finish <= worst + 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(config=CONFIGS, seed=st.integers(0, 2**16),
+       cycles=st.lists(st.floats(min_value=1e6, max_value=1e9),
+                       min_size=1, max_size=6))
+def test_same_seed_same_result(config, seed, cycles):
+    """Bitwise determinism: identical seeds produce identical runs."""
+    def run():
+        system = System.build(config, seed=seed)
+        threads = [system.kernel.spawn(
+            SimThread(f"t{i}", mixed_body([work], False)))
+            for i, work in enumerate(cycles)]
+        system.run()
+        return [(t.finish_time, t.last_core, t.migrations)
+                for t in threads]
+    assert run() == run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**16),
+       cycles=st.lists(st.floats(min_value=1e7, max_value=1e9),
+                       min_size=2, max_size=8))
+def test_asym_scheduler_never_loses_to_stock_on_makespan(seed, cycles):
+    """On the 1f-3s/8 machine the asymmetry-aware policy's makespan is
+    never worse than the stock policy's (work-conserving + pulls)."""
+    def makespan(factory):
+        system = System.build("1f-3s/8", seed=seed,
+                              scheduler=factory() if factory else None)
+        for index, work in enumerate(cycles):
+            system.kernel.spawn(SimThread(f"t{index}",
+                                          mixed_body([work], False)))
+        return system.run()
+    assert makespan(AsymmetryAwareScheduler) <= \
+        makespan(None) * (1 + 1e-9)

@@ -1,0 +1,160 @@
+"""Unit tests of the server substrates' internal mechanics."""
+
+import pytest
+
+from repro._system import System
+from repro.workloads.tpch.engine import DatabaseServer
+from repro.workloads.tpch.queries import build_plan
+from repro.workloads.webserver.apache import ApacheServer
+from repro.workloads.webserver.client import Request
+from repro.workloads.webserver.zeus import ZeusServer
+from repro.kernel.thread import SimThread
+
+
+def make_request(system, slot=0, done=None):
+    return Request(slot, system.now,
+                   done if done is not None else (lambda r: None))
+
+
+class TestApacheInternals:
+    def test_parameter_validation(self):
+        system = System.build("4f-0s")
+        with pytest.raises(ValueError):
+            ApacheServer(system, n_workers=0)
+        with pytest.raises(ValueError):
+            ApacheServer(system, recycle_after=0)
+
+    def test_pool_reaches_configured_size(self):
+        system = System.build("4f-0s")
+        server = ApacheServer(system, n_workers=6)
+        system.run(until=0.5)
+        assert server.idle_workers == 6
+        assert server.forks == 6
+
+    def test_requests_queue_when_pool_busy(self):
+        system = System.build("4f-0s")
+        server = ApacheServer(system, n_workers=2)
+        system.run(until=0.5)  # pool up
+        for slot in range(5):
+            server.submit(make_request(system, slot))
+        # Two picked up immediately, three in the backlog.
+        assert server.backlog == 3
+        assert server.idle_workers == 0
+
+    def test_recycling_replaces_workers(self):
+        system = System.build("4f-0s")
+        server = ApacheServer(system, n_workers=2, recycle_after=3,
+                              startup_latency=0.0, io_read=0.0,
+                              io_write=0.0)
+        completed = []
+
+        def issue(slot):
+            server.submit(make_request(
+                system, slot, lambda r: completed.append(r)))
+
+        system.run(until=0.2)
+        for i in range(12):
+            system.sim.schedule(0.2 + i * 0.01, issue, i)
+        system.run(until=2.0)
+        assert len(completed) == 12
+        assert server.requests_served == 12
+        # 12 requests / recycle_after 3 = 4 worker exits re-forked.
+        assert server.forks >= 2 + 3
+
+    def test_served_request_gets_timestamps(self):
+        system = System.build("4f-0s")
+        server = ApacheServer(system, n_workers=2)
+        system.run(until=0.5)
+        finished = []
+        server.submit(make_request(system, 0, finished.append))
+        system.run(until=1.0)
+        request = finished[0]
+        assert request.start_time is not None
+        assert request.finish_time > request.start_time
+
+
+class TestZeusInternals:
+    def test_master_gets_its_own_core(self):
+        system = System.build("4f-0s", seed=3)
+        server = ZeusServer(system)
+        worker_cores = {next(iter(w.thread.affinity))
+                        for w in server.workers}
+        assert server.master_core not in worker_cores
+        assert len(server.workers) == 3
+
+    def test_connections_balanced_by_count(self):
+        system = System.build("4f-0s", seed=1)
+        server = ZeusServer(system)
+        for slot in range(9):
+            server.submit(make_request(system, slot))
+        system.run(until=0.2)  # the master performs the dispatch
+        counts = sorted(w.connections for w in server.workers)
+        assert counts == [3, 3, 3]
+
+    def test_connection_binding_is_sticky(self):
+        system = System.build("4f-0s", seed=1)
+        server = ZeusServer(system)
+        server.submit(make_request(system, 42))
+        system.run(until=0.1)
+        first = server._bindings[42]
+        server.submit(make_request(system, 42))
+        system.run(until=0.2)
+        assert server._bindings[42] is first
+        assert first.connections == 1  # rebinding did not recount
+
+    def test_unpinned_mode(self):
+        system = System.build("4f-0s", seed=1)
+        server = ZeusServer(system, pin=False)
+        assert server.master.affinity is None
+        assert all(w.thread.affinity is None for w in server.workers)
+
+    def test_requests_flow_through_master(self):
+        system = System.build("4f-0s", seed=1)
+        server = ZeusServer(system)
+        finished = []
+        for slot in range(4):
+            server.submit(make_request(system, slot, finished.append))
+        system.run(until=0.5)
+        assert len(finished) == 4
+        assert server.requests_served == 4
+        # The master burned accept cycles for every request.
+        assert server.master.cycles_retired >= 4 * server.accept_cycles
+
+
+class TestDatabaseServerInternals:
+    def test_processes_bound_round_robin(self):
+        system = System.build("4f-0s")
+        server = DatabaseServer(system, n_processes=8)
+        assert [p.core for p in server.processes] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_query_pieces_spread_one_per_core(self):
+        system = System.build("4f-0s", seed=2)
+        server = DatabaseServer(system)
+        plan = build_plan(3, 4, 7)
+
+        def coordinator():
+            yield from server.run_query(plan)
+
+        system.kernel.spawn(SimThread("coord", coordinator()))
+        system.run()
+        used_cores = [p.core for p in server.processes
+                      if p.thread.cycles_retired > 0]
+        assert sorted(used_cores) == [0, 1, 2, 3]
+
+    def test_sequential_queries_complete(self):
+        system = System.build("2f-2s/8", seed=4)
+        server = DatabaseServer(system)
+
+        def coordinator():
+            for query in (1, 2, 3):
+                yield from server.run_query(build_plan(query, 4, 7))
+
+        system.kernel.spawn(SimThread("coord", coordinator()))
+        finish = system.run()
+        assert finish > 0
+        total_cycles = sum(p.thread.cycles_retired
+                           for p in server.processes)
+        expected = sum(build_plan(q, 4, 7).total_cycles
+                       for q in (1, 2, 3))
+        assert total_cycles == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.events import EventQueue
+from repro.sim.rng import RandomStream, StreamRegistry, derive_seed
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, ("b",))
+        queue.push(1.0, fired.append, ("a",))
+        queue.push(3.0, fired.append, ("c",))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback(*event.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        keeper = queue.push(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is keeper
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_nan_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(float("nan"), lambda: None)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_pop_order_is_sorted_for_any_times(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(times)
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_stops_early_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(sim.now)
+            if depth:
+                sim.schedule(1.0, chain, depth - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_fired == 4
+
+    def test_zero_delay_events_preserve_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, seen.append, "a")
+        sim.schedule(0.0, seen.append, "b")
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_advance_to_past_pending_event_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_to(2.0)
+
+
+class TestRandomStreams:
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_derive_seed_differs_by_name_and_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, "a") != derive_seed(43, "a")
+
+    def test_registry_returns_same_stream_object(self):
+        registry = StreamRegistry(7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_streams_are_independent(self):
+        registry = StreamRegistry(7)
+        a_alone = StreamRegistry(7).stream("a")
+        reference = [a_alone.random() for _ in range(5)]
+        b = registry.stream("b")
+        a = registry.stream("a")
+        b.random()  # draws on b must not shift a
+        assert [a.random() for _ in range(5)] == reference
+
+    def test_same_seed_reproduces_sequence(self):
+        first = RandomStream(123)
+        second = RandomStream(123)
+        assert [first.random() for _ in range(10)] == \
+            [second.random() for _ in range(10)]
+
+    def test_choice_tiebreak_single_candidate_draws_no_randomness(self):
+        stream = RandomStream(1)
+        state = stream.getstate()
+        assert stream.choice_tiebreak(["only"]) == "only"
+        assert stream.getstate() == state
+
+    def test_choice_tiebreak_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).choice_tiebreak([])
+
+    @given(st.floats(min_value=0.001, max_value=1e6), st.integers(0, 2**32))
+    def test_jitter_zero_fraction_is_identity(self, value, seed):
+        assert RandomStream(seed).jitter(value, 0.0) == value
+
+    @given(st.floats(min_value=0.001, max_value=1e6),
+           st.floats(min_value=0.001, max_value=0.5),
+           st.integers(0, 2**32))
+    def test_jitter_stays_in_bounds(self, value, fraction, seed):
+        result = RandomStream(seed).jitter(value, fraction)
+        assert value * (1 - fraction) <= result <= value * (1 + fraction)
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).exponential(0.0)

@@ -1,0 +1,86 @@
+"""SPECjbb workload tests (paper §3.1 shapes)."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.kernel import AsymmetryAwareScheduler
+from repro.runtime.jvm import GCKind
+from repro.workloads.specjbb import SpecJBB
+
+SEEDS = range(5)
+
+
+def throughputs(workload, config, asym=False, seeds=SEEDS):
+    factory = AsymmetryAwareScheduler if asym else None
+    return [workload.run_once(config, seed=s,
+                              scheduler_factory=factory)
+            .metric("throughput") for s in seeds]
+
+
+def quick(gc=GCKind.CONCURRENT, **kwargs):
+    kwargs.setdefault("warehouses", 8)
+    kwargs.setdefault("measurement_seconds", 1.0)
+    return SpecJBB(gc=gc, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_zero_warehouses(self):
+        with pytest.raises(ValueError):
+            SpecJBB(warehouses=0)
+
+    def test_rejects_unknown_vm(self):
+        with pytest.raises(ValueError):
+            quick(vm="exotic-jvm").run_once("4f-0s")
+
+    def test_metrics_present(self):
+        result = quick().run_once("4f-0s", seed=1)
+        for metric in ("throughput", "transactions", "gc_stall_time",
+                       "gc_stalls", "gc_collections"):
+            assert metric in result.metrics
+
+
+class TestPaperShapes:
+    def test_symmetric_configs_are_stable(self):
+        for config in ("4f-0s", "0f-4s/8"):
+            summary = summarize(throughputs(quick(), config))
+            assert summary.cov < 0.02, config
+
+    def test_asymmetric_config_is_unstable_with_concurrent_gc(self):
+        summary = summarize(throughputs(quick(), "2f-2s/8"))
+        assert summary.cov > 0.10
+
+    def test_parallel_gc_is_far_more_stable(self):
+        concurrent = summarize(throughputs(quick(), "2f-2s/8"))
+        parallel = summarize(throughputs(
+            quick(gc=GCKind.PARALLEL), "2f-2s/8"))
+        assert parallel.cov < concurrent.cov / 5
+
+    def test_asymmetry_aware_kernel_fixes_instability(self):
+        stock = summarize(throughputs(quick(), "2f-2s/8"))
+        fixed = summarize(throughputs(quick(), "2f-2s/8", asym=True))
+        assert fixed.cov < 0.05 < stock.cov
+        # The fix also lands near the stock scheduler's best case.
+        assert fixed.mean > stock.mean
+
+    def test_throughput_scales_with_compute_power(self):
+        fast = summarize(throughputs(quick(), "4f-0s")).mean
+        slow = summarize(throughputs(quick(), "0f-4s/8")).mean
+        assert fast > 4 * slow
+
+    def test_hotspot_has_larger_relative_variance_than_jrockit(self):
+        # Figure 1(a): HotSpot's concurrent GC spreads wider.  The
+        # channel is bimodal, so judge on a decent sample at the
+        # paper's measurement length.
+        seeds = range(8)
+        jrockit = summarize(throughputs(
+            SpecJBB(warehouses=8, vm="jrockit", gc=GCKind.CONCURRENT),
+            "2f-2s/8", seeds=seeds))
+        hotspot = summarize(throughputs(
+            SpecJBB(warehouses=8, vm="hotspot", gc=GCKind.CONCURRENT),
+            "2f-2s/8", seeds=seeds))
+        assert hotspot.cov > jrockit.cov
+
+    def test_gc_stalls_absent_on_all_fast_machine_at_low_load(self):
+        workload = quick(warehouses=2)
+        result = workload.run_once("4f-0s", seed=3)
+        assert result.metric("gc_stalls") == 0

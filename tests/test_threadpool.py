@@ -1,0 +1,152 @@
+"""Tests for the generic worker-thread pool."""
+
+import pytest
+
+from repro import System
+from repro.errors import WorkloadError
+from repro.runtime.threadpool import Task, ThreadPool
+from repro.machine import DEFAULT_FREQUENCY_HZ
+
+WORK_SECOND = DEFAULT_FREQUENCY_HZ
+
+
+class TestTask:
+    def test_negative_durations_rejected(self):
+        with pytest.raises(WorkloadError):
+            Task(-1)
+        with pytest.raises(WorkloadError):
+            Task(10, io_before=-0.1)
+
+    def test_response_time_none_until_done(self):
+        task = Task(10)
+        assert task.response_time is None
+        assert task.queue_delay is None
+
+
+class TestThreadPool:
+    def test_single_task_executes(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=2)
+        done = []
+        pool.submit(Task(WORK_SECOND, on_done=lambda t, at: done.append(at)))
+        system.run(until=2.0)
+        assert done == [pytest.approx(1.0)]
+        assert pool.completed == 1
+
+    def test_tasks_run_in_parallel_up_to_worker_count(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=4)
+        for _ in range(4):
+            pool.submit(Task(WORK_SECOND))
+        system.run(until=1.5)
+        assert pool.completed == 4
+        assert system.now == pytest.approx(1.5)
+
+    def test_excess_tasks_queue(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=1, pin=True)
+        tasks = [pool.submit(Task(WORK_SECOND)) for _ in range(3)]
+        system.run(until=3.5)
+        assert pool.completed == 3
+        # FIFO: response times are 1, 2, 3 seconds.
+        responses = [t.response_time for t in tasks]
+        assert responses == pytest.approx([1.0, 2.0, 3.0])
+        assert tasks[2].queue_delay == pytest.approx(2.0)
+
+    def test_io_phases_do_not_hold_cores(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=8)
+        # 8 tasks, each 0.5s IO + 0.5s compute; 4 cores.  The IO of all
+        # eight overlaps, so the whole batch fits in ~1.5s.
+        for _ in range(8):
+            pool.submit(Task(WORK_SECOND / 2, io_before=0.5))
+        system.run(until=2.0)
+        assert pool.completed == 8
+
+    def test_idle_workers_burn_no_cpu(self):
+        system = System.build("4f-0s")
+        ThreadPool(system, n_workers=4)
+        system.run(until=1.0)
+        assert all(core.busy_time == 0.0 for core in system.machine.cores)
+
+    def test_submit_after_shutdown_rejected(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=1)
+        pool.shutdown()
+        with pytest.raises(WorkloadError):
+            pool.submit(Task(1))
+
+    def test_shutdown_drains_queue_first(self):
+        system = System.build("4f-0s")
+        pool = ThreadPool(system, n_workers=2, daemon=False)
+        for _ in range(4):
+            pool.submit(Task(WORK_SECOND / 4))
+        pool.shutdown()
+        system.run()
+        assert pool.completed == 4
+
+    def test_zero_workers_rejected(self):
+        system = System.build("4f-0s")
+        with pytest.raises(WorkloadError):
+            ThreadPool(system, n_workers=0)
+
+
+class TestGarbageCollection:
+    def test_parallel_gc_reclaims_and_unblocks(self):
+        from repro.kernel import Compute, SimThread
+        from repro.runtime.jvm import GCKind, ManagedRuntime
+
+        system = System.build("4f-0s")
+        vm = ManagedRuntime(system, gc=GCKind.PARALLEL,
+                            heap_capacity=10e6, live_bytes=1e6)
+
+        def mutator():
+            for _ in range(20):
+                yield Compute(WORK_SECOND / 100)
+                yield from vm.allocate(1e6)
+
+        system.kernel.spawn(SimThread("m", mutator()))
+        system.run()
+        assert vm.collections >= 2
+        assert vm.stall_count >= 1
+        assert vm.heap.occupancy <= vm.heap.capacity_bytes
+
+    def test_concurrent_gc_keeps_up_on_fast_core(self):
+        from repro.kernel import Compute, SimThread
+        from repro.runtime.jvm import GCKind, ManagedRuntime
+
+        system = System.build("4f-0s")
+        vm = ManagedRuntime(system, gc=GCKind.CONCURRENT,
+                            heap_capacity=10e6, live_bytes=1e6,
+                            trigger_fraction=0.5)
+
+        def mutator():
+            # Slow allocation: collector has plenty of headroom.
+            for _ in range(10):
+                yield Compute(WORK_SECOND / 4)
+                yield from vm.allocate(1e6)
+
+        system.kernel.spawn(SimThread("m", mutator()))
+        system.run()
+        assert vm.collections >= 1
+        assert vm.stall_count == 0
+
+    def test_oversized_allocation_rejected(self):
+        from repro.runtime.gc.heap import ManagedHeap
+
+        system = System.build("4f-0s")
+        heap = ManagedHeap(system, 10e6, 5e6)
+        generator = heap.allocate(6e6)
+        with pytest.raises(WorkloadError):
+            next(generator)
+
+    def test_heap_geometry_validation(self):
+        from repro.runtime.gc.heap import ManagedHeap
+
+        system = System.build("4f-0s")
+        with pytest.raises(WorkloadError):
+            ManagedHeap(system, 0, 0)
+        with pytest.raises(WorkloadError):
+            ManagedHeap(system, 10, 10)
+        with pytest.raises(WorkloadError):
+            ManagedHeap(system, 10, 5, trigger_fraction=0.0)

@@ -1,0 +1,119 @@
+"""TPC-H workload tests (paper §3.3 shapes)."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.errors import WorkloadError
+from repro.kernel import AsymmetryAwareScheduler
+from repro.workloads.tpch import (
+    LOW_OPT_DEGREE,
+    MAX_OPT_DEGREE,
+    TpchPowerRun,
+    TpchQuery,
+    all_queries,
+    build_plan,
+    plan_cost_seconds,
+    plan_skew,
+)
+
+QUERIES = [1, 3, 6, 9, 14, 18]
+SEEDS = range(5)
+
+
+def runtimes(workload, config, asym=False, seeds=SEEDS):
+    factory = AsymmetryAwareScheduler if asym else None
+    return [workload.run_once(config, seed=s,
+                              scheduler_factory=factory)
+            .metric("runtime") for s in seeds]
+
+
+class TestPlans:
+    def test_twenty_two_queries(self):
+        assert all_queries() == list(range(1, 23))
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(WorkloadError):
+            plan_cost_seconds(23, 7)
+
+    def test_bad_opt_degree_rejected(self):
+        with pytest.raises(WorkloadError):
+            plan_cost_seconds(1, 9)
+
+    def test_bad_parallel_degree_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_plan(1, 0, 7)
+
+    def test_lower_optimization_costs_more(self):
+        assert plan_cost_seconds(3, LOW_OPT_DEGREE) > \
+            plan_cost_seconds(3, MAX_OPT_DEGREE)
+
+    def test_aggressive_plans_are_more_skewed(self):
+        assert plan_skew(MAX_OPT_DEGREE) < plan_skew(LOW_OPT_DEGREE)
+
+    def test_plan_total_matches_cost(self):
+        plan = build_plan(3, 4, 7, frequency_hz=2.8e9)
+        expected = plan_cost_seconds(3, 7) * 2.8e9
+        assert plan.total_cycles == pytest.approx(expected)
+
+    def test_plans_are_deterministic(self):
+        first = build_plan(9, 8, 7)
+        second = build_plan(9, 8, 7)
+        assert [p.cycles for p in first.pieces] == \
+            [p.cycles for p in second.pieces]
+
+    def test_piece_count_matches_parallel_degree(self):
+        for degree in (1, 4, 8):
+            assert len(build_plan(5, degree, 7).pieces) == degree
+
+
+class TestPaperShapes:
+    def test_symmetric_power_runs_cluster(self):
+        workload = TpchPowerRun(4, 7, queries=QUERIES)
+        for config in ("4f-0s", "0f-4s/8"):
+            assert summarize(runtimes(workload, config,
+                                      seeds=range(3))).cov < 0.01
+
+    def test_asymmetric_power_runs_vary(self):
+        workload = TpchPowerRun(4, 7, queries=QUERIES)
+        assert summarize(runtimes(workload, "3f-1s/8")).cov > 0.03
+
+    def test_higher_parallelization_increases_variance(self):
+        # Judged on the full 22-query power run — per-query dispatch
+        # noise averages out there, isolating the degree effect.
+        par4 = summarize(runtimes(TpchPowerRun(4, 7), "2f-2s/8",
+                                  seeds=range(6)))
+        par8 = summarize(runtimes(TpchPowerRun(8, 7), "2f-2s/8",
+                                  seeds=range(6)))
+        assert par8.cov > 1.5 * par4.cov
+
+    def test_low_optimization_slower_but_stabler(self):
+        opt7 = summarize(runtimes(TpchPowerRun(4, 7, queries=QUERIES),
+                                  "2f-2s/8"))
+        opt2 = summarize(runtimes(TpchPowerRun(4, 2, queries=QUERIES),
+                                  "2f-2s/8"))
+        assert opt2.mean > 1.5 * opt7.mean  # slower...
+        assert opt2.cov < opt7.cov / 2      # ...but far stabler
+
+    def test_kernel_fix_is_ineffective(self):
+        # DB2 binds its server processes itself (§3.3.1).
+        workload = TpchPowerRun(4, 7, queries=QUERIES)
+        stock = summarize(runtimes(workload, "2f-2s/8"))
+        fixed = summarize(runtimes(workload, "2f-2s/8", asym=True))
+        assert fixed.cov == pytest.approx(stock.cov, rel=0.05)
+
+    def test_serial_query_is_bimodal(self):
+        # Parallelization off: "two distinct runtimes ... one where the
+        # runtime corresponds to the fastest processor, and another
+        # ... the slowest."
+        workload = TpchQuery(3, parallel_degree=1)
+        values = runtimes(workload, "2f-2s/8", seeds=range(10))
+        distinct = {round(v, 1) for v in values}
+        assert len(distinct) == 2
+        assert max(distinct) > 6 * min(distinct)
+
+    def test_power_run_reports_per_query_times(self):
+        result = TpchPowerRun(4, 7, queries=[1, 3]).run_once("4f-0s")
+        assert "q1_runtime" in result.metrics
+        assert "q3_runtime" in result.metrics
+        total = result.metric("q1_runtime") + result.metric("q3_runtime")
+        assert result.metric("runtime") == pytest.approx(total, rel=0.01)

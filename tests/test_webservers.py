@@ -1,0 +1,123 @@
+"""Apache and Zeus workload tests (paper §3.4 shapes)."""
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.kernel import AsymmetryAwareScheduler
+from repro.workloads.webserver import (
+    ApacheWorkload,
+    HEAVY_LOAD_CONCURRENCY,
+    LIGHT_LOAD_CONCURRENCY,
+    ZeusWorkload,
+)
+
+SEEDS = range(6)
+
+
+def throughputs(workload, config, asym=False, seeds=SEEDS):
+    factory = AsymmetryAwareScheduler if asym else None
+    return [workload.run_once(config, seed=s,
+                              scheduler_factory=factory)
+            .metric("throughput") for s in seeds]
+
+
+def apache(load="light", **kwargs):
+    kwargs.setdefault("measurement_seconds", 1.0)
+    return ApacheWorkload(load, **kwargs)
+
+
+def zeus(load="light", **kwargs):
+    kwargs.setdefault("measurement_seconds", 1.0)
+    return ZeusWorkload(load, **kwargs)
+
+
+class TestConstruction:
+    def test_load_levels_match_paper(self):
+        assert LIGHT_LOAD_CONCURRENCY == 10
+        assert HEAVY_LOAD_CONCURRENCY == 60
+
+    def test_unknown_load_rejected(self):
+        with pytest.raises(ValueError):
+            ApacheWorkload("medium")
+
+    def test_response_metrics_present(self):
+        result = apache().run_once("4f-0s", seed=1)
+        for metric in ("throughput", "mean_response", "p90_response",
+                       "max_response", "forks"):
+            assert metric in result.metrics
+
+
+class TestApacheShapes:
+    def test_symmetric_light_load_is_stable(self):
+        for config in ("4f-0s", "0f-4s/4"):
+            assert summarize(throughputs(apache(), config)).cov < 0.02
+
+    def test_asymmetric_light_load_is_unstable(self):
+        assert summarize(throughputs(apache(), "2f-2s/8")).cov > 0.03
+
+    def test_heavy_load_is_stable_even_asymmetric(self):
+        # "in a throughput benchmark under heavy load, each processor
+        # is always busy."
+        summary = summarize(throughputs(apache("heavy"), "2f-2s/8",
+                                        seeds=range(4)))
+        assert summary.cov < 0.01
+
+    def test_asymmetry_aware_kernel_fixes_light_load(self):
+        stock = summarize(throughputs(apache(), "2f-2s/8"))
+        fixed = summarize(throughputs(apache(), "2f-2s/8", asym=True))
+        assert fixed.cov < 0.01
+        assert fixed.mean > stock.mean
+
+    def test_fine_grained_threads_reduce_instability_and_throughput(self):
+        # Fine-grained recycling re-randomizes placement every 50
+        # requests: the instability averages out within the run, at
+        # the price of constant child-init overhead.  Judged at the
+        # full measurement length (averaging needs the window).
+        seeds = range(8)
+        standard = summarize(throughputs(
+            ApacheWorkload("light"), "2f-2s/8", seeds=seeds))
+        fine = summarize(throughputs(
+            ApacheWorkload("light", fine_grained=True), "2f-2s/8",
+            seeds=seeds))
+        assert fine.cov < 0.75 * standard.cov
+        fast_standard = summarize(throughputs(apache(), "4f-0s",
+                                              seeds=range(3)))
+        fast_fine = summarize(throughputs(apache(fine_grained=True),
+                                          "4f-0s", seeds=range(3)))
+        assert fast_fine.mean < 0.85 * fast_standard.mean
+
+    def test_heavy_load_tracks_compute_power(self):
+        fast = summarize(throughputs(apache("heavy"), "4f-0s",
+                                     seeds=range(2))).mean
+        slow = summarize(throughputs(apache("heavy"), "0f-4s/8",
+                                     seeds=range(2))).mean
+        assert fast == pytest.approx(8 * slow, rel=0.1)
+
+
+class TestZeusShapes:
+    def test_symmetric_configs_are_stable(self):
+        for config in ("4f-0s", "0f-4s/4", "0f-4s/8"):
+            assert summarize(throughputs(zeus(), config)).cov < 0.02, \
+                config
+
+    def test_asymmetric_unstable_under_both_loads(self):
+        # Unlike Apache, Zeus is unstable under heavy load too.
+        assert summarize(throughputs(zeus("light"), "2f-2s/8")).cov \
+            > 0.10
+        assert summarize(throughputs(zeus("heavy"), "2f-2s/8")).cov \
+            > 0.10
+
+    def test_kernel_fix_is_ineffective(self):
+        # "Zeus runs its own threading scheduler": pinned processes.
+        stock = summarize(throughputs(zeus(), "2f-2s/8"))
+        fixed = summarize(throughputs(zeus(), "2f-2s/8", asym=True))
+        assert fixed.cov == pytest.approx(stock.cov, rel=0.01)
+
+    def test_zeus_outperforms_apache_under_heavy_load(self):
+        # "Zeus provides a significantly higher throughput than
+        # Apache does, up to a factor of 2.5."
+        apache_mean = summarize(throughputs(apache("heavy"), "4f-0s",
+                                            seeds=range(2))).mean
+        zeus_mean = summarize(throughputs(zeus("heavy"), "4f-0s",
+                                          seeds=range(2))).mean
+        assert zeus_mean > 1.5 * apache_mean
