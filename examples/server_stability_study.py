@@ -14,8 +14,10 @@ The punchline mirrors Table 1:
 * SPECjAppServer's feedback loop makes it robust out of the box.
 """
 
+import argparse
 import statistics
 
+from repro.experiments.parallel import RunTask, make_backend
 from repro.experiments.report import format_table
 from repro.kernel import AsymmetryAwareScheduler
 from repro.runtime.jvm import GCKind
@@ -30,16 +32,18 @@ CONFIG = "2f-2s/8"
 SEEDS = range(5)
 
 
-def spread(workload, scheduler_factory=None):
-    values = [workload.run_once(CONFIG, seed=s,
-                                scheduler_factory=scheduler_factory)
-              .metric(workload.primary_metric) for s in SEEDS]
+def spread(backend, workload, scheduler_factory=None):
+    results = backend.execute(
+        [RunTask(workload, CONFIG, s, scheduler_factory)
+         for s in SEEDS])
+    values = [r.metric(workload.primary_metric) for r in results]
     mean = statistics.mean(values)
     cov = statistics.pstdev(values) / mean if mean else 0.0
     return mean, cov
 
 
-def main():
+def main(jobs=None):
+    backend = make_backend(jobs)
     workloads = {
         "SPECjbb (concurrent GC)": SpecJBB(
             warehouses=8, gc=GCKind.CONCURRENT,
@@ -52,8 +56,9 @@ def main():
     }
     rows = []
     for name, workload in workloads.items():
-        mean, cov = spread(workload)
-        fixed_mean, fixed_cov = spread(workload, AsymmetryAwareScheduler)
+        mean, cov = spread(backend, workload)
+        fixed_mean, fixed_cov = spread(backend, workload,
+                                       AsymmetryAwareScheduler)
         verdict = ("stable by design" if cov <= 0.03
                    else "kernel fix works" if fixed_cov < cov / 3
                    else "kernel fix ineffective")
@@ -67,4 +72,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: serial)")
+    main(jobs=parser.parse_args().jobs)

@@ -6,7 +6,11 @@ Usage::
     python -m repro fig04                 # regenerate one exhibit
     python -m repro all                   # regenerate everything
     python -m repro fig08 --profile paper # full protocol
+    python -m repro all --jobs 4          # fan runs out over 4 workers
     python -m repro validate              # machine self-check
+
+``--jobs N`` parallelizes the independent simulation runs over N
+worker processes; results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -42,7 +46,8 @@ def _cmd_validate() -> int:
     return 0
 
 
-def _cmd_exhibit(name: str, profile_name: str) -> int:
+def _cmd_exhibit(name: str, profile_name: str,
+                 jobs: int = 0) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -54,7 +59,7 @@ def _cmd_exhibit(name: str, profile_name: str) -> int:
     for exhibit in names:
         module = ALL_EXHIBITS[exhibit]
         print(f"== {exhibit} ".ljust(72, "="))
-        module.main(profile)
+        module.main(profile, jobs=jobs)
         print()
     return 0
 
@@ -70,12 +75,16 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", default="quick",
                         choices=("quick", "paper"),
                         help="experiment scale (default: quick)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes for simulation runs "
+                             "(0 or 1: serial; results are identical "
+                             "either way)")
     args = parser.parse_args(argv)
     if args.exhibit == "list":
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
-    return _cmd_exhibit(args.exhibit, args.profile)
+    return _cmd_exhibit(args.exhibit, args.profile, args.jobs)
 
 
 if __name__ == "__main__":

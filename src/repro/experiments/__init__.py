@@ -1,6 +1,13 @@
 """Experiment harness: runner, profiles, reporting and the exhibits."""
 
 from repro.experiments.figures import ALL_EXHIBITS
+from repro.experiments.parallel import (
+    ProcessPoolBackend,
+    ResultCache,
+    RunTask,
+    SerialBackend,
+    make_backend,
+)
 from repro.experiments.profiles import PAPER, QUICK, Profile, get_profile
 from repro.experiments.report import (
     format_series,
@@ -13,6 +20,11 @@ from repro.experiments.runner import ConfigSweep, Runner
 __all__ = [
     "Runner",
     "ConfigSweep",
+    "RunTask",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "make_backend",
     "Profile",
     "PAPER",
     "QUICK",

@@ -12,52 +12,59 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.experiments.parallel import Backend, RunTask, make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_series
 from repro.runtime.jvm import GCKind
 from repro.workloads.specjbb import SpecJBB
 
-
-def _throughput_curve(vm: str, gc: GCKind, config: str, runs: int,
-                      profile: Profile, base_seed: int,
-                      ) -> List[List[float]]:
-    """One throughput-vs-warehouses curve per run."""
-    curves = []
-    for run in range(runs):
-        curve = []
-        for warehouses in profile.warehouses:
-            workload = SpecJBB(
-                warehouses=warehouses, vm=vm, gc=gc,
-                measurement_seconds=profile.specjbb_measurement)
-            result = workload.run_once(config, seed=base_seed + run)
-            curve.append(result.metric("throughput"))
-        curves.append(curve)
-    return curves
+#: The four (series label, vm, gc, config) curves across both panels.
+_SERIES = [
+    ("a", "jrockit-parallel@2f-2s/8",
+     "jrockit", GCKind.PARALLEL, "2f-2s/8"),
+    ("a", "hotspot-concurrent@2f-2s/8",
+     "hotspot", GCKind.CONCURRENT, "2f-2s/8"),
+    ("b", "jrockit-concurrent@4f-0s",
+     "jrockit", GCKind.CONCURRENT, "4f-0s"),
+    ("b", "jrockit-concurrent@2f-2s/8",
+     "jrockit", GCKind.CONCURRENT, "2f-2s/8"),
+]
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def _curve_tasks(vm: str, gc: GCKind, config: str, runs: int,
+                 profile: Profile, base_seed: int) -> List[RunTask]:
+    """Tasks for one curve, run-major then warehouse-minor."""
+    return [RunTask(SpecJBB(warehouses=warehouses, vm=vm, gc=gc,
+                            measurement_seconds=(
+                                profile.specjbb_measurement)),
+                    config, base_seed + run)
+            for run in range(runs)
+            for warehouses in profile.warehouses]
+
+
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None,
+        backend: Optional[Backend] = None) -> Dict:
     """Collect both panels; returns {panel: {series: curves}}."""
     runs = max(2, profile.runs)
-    panel_a = {
-        "jrockit-parallel@2f-2s/8": _throughput_curve(
-            "jrockit", GCKind.PARALLEL, "2f-2s/8", runs, profile,
-            base_seed),
-        "hotspot-concurrent@2f-2s/8": _throughput_curve(
-            "hotspot", GCKind.CONCURRENT, "2f-2s/8", runs, profile,
-            base_seed),
-    }
-    panel_b = {
-        "jrockit-concurrent@4f-0s": _throughput_curve(
-            "jrockit", GCKind.CONCURRENT, "4f-0s", runs, profile,
-            base_seed),
-        "jrockit-concurrent@2f-2s/8": _throughput_curve(
-            "jrockit", GCKind.CONCURRENT, "2f-2s/8", runs, profile,
-            base_seed),
-    }
-    return {"warehouses": list(profile.warehouses),
-            "a": panel_a, "b": panel_b}
+    backend = backend if backend is not None else make_backend(jobs)
+    # One flat task list across all four series, so a parallel backend
+    # sees the whole figure's work at once.
+    tasks: List[RunTask] = []
+    for _, _, vm, gc, config in _SERIES:
+        tasks.extend(_curve_tasks(vm, gc, config, runs, profile,
+                                  base_seed))
+    results = iter(backend.execute(tasks))
+    points = len(profile.warehouses)
+    data: Dict = {"warehouses": list(profile.warehouses),
+                  "a": {}, "b": {}}
+    for panel, name, _, _, _ in _SERIES:
+        data[panel][name] = [
+            [next(results).metric("throughput") for _ in range(points)]
+            for _ in range(runs)]
+    return data
 
 
 def render(data: Dict) -> str:
@@ -78,7 +85,8 @@ def render(data: Dict) -> str:
     return "\n\n".join(blocks)
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -9,8 +9,9 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import ConfigSweep, Runner
@@ -25,13 +26,15 @@ def _workload(profile: Profile) -> SpecJBB:
                    measurement_seconds=profile.specjbb_measurement)
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
-    sweep = Runner(runs=profile.runs, base_seed=base_seed).run(
-        _workload(profile))
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
+    backend = make_backend(jobs)
+    sweep = Runner(runs=profile.runs, base_seed=base_seed,
+                   backend=backend).run(_workload(profile))
     fixed = Runner(configs=["4f-0s", "2f-2s/8"], runs=profile.runs,
                    base_seed=base_seed,
-                   scheduler_factory=AsymmetryAwareScheduler).run(
-        _workload(profile))
+                   scheduler_factory=AsymmetryAwareScheduler,
+                   backend=backend).run(_workload(profile))
     return {"a": sweep, "b": fixed}
 
 
@@ -46,7 +49,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -11,16 +11,19 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep, format_table
 from repro.experiments.runner import Runner
 from repro.workloads.jappserver import SpecJAppServer
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
-    runner = Runner(runs=profile.runs, base_seed=base_seed)
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
+    runner = Runner(runs=profile.runs, base_seed=base_seed,
+                    backend=make_backend(jobs))
     top_rate = max(profile.injection_rates)
     sweep = runner.run(SpecJAppServer(injection_rate=top_rate))
     by_rate = {}
@@ -54,7 +57,8 @@ def render(data: Dict) -> str:
     return "\n\n".join(blocks)
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

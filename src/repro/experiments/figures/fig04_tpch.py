@@ -10,24 +10,28 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep, format_table
 from repro.experiments.runner import Runner
 from repro.workloads.tpch import TpchPowerRun, TpchQuery
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
-    power = Runner(runs=profile.runs, base_seed=base_seed).run(
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
+    backend = make_backend(jobs)
+    power = Runner(runs=profile.runs, base_seed=base_seed,
+                   backend=backend).run(
         TpchPowerRun(parallel_degree=4, optimization_degree=7,
                      queries=list(profile.tpch_queries)))
     query3 = Runner(runs=profile.tpch_query_runs,
-                    base_seed=base_seed).run(
+                    base_seed=base_seed, backend=backend).run(
         TpchQuery(3, parallel_degree=4, optimization_degree=7))
     serial_q3 = Runner(configs=["2f-2s/8"],
                        runs=profile.tpch_query_runs,
-                       base_seed=base_seed).run(
+                       base_seed=base_seed, backend=backend).run(
         TpchQuery(3, parallel_degree=1, optimization_degree=7))
     return {"a": power, "b": query3, "serial": serial_q3}
 
@@ -46,7 +50,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -12,8 +12,9 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import Runner
@@ -21,9 +22,12 @@ from repro.kernel.asym_scheduler import AsymmetryAwareScheduler
 from repro.workloads.tpch import TpchPowerRun
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
     queries = list(profile.tpch_queries)
-    runner = Runner(runs=profile.runs, base_seed=base_seed)
+    backend = make_backend(jobs)
+    runner = Runner(runs=profile.runs, base_seed=base_seed,
+                    backend=backend)
     high_par = runner.run(TpchPowerRun(parallel_degree=8,
                                        optimization_degree=7,
                                        queries=queries))
@@ -34,7 +38,7 @@ def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
     # processes): identical spread with the asymmetry-aware scheduler.
     fixed_kernel = Runner(
         configs=["2f-2s/8"], runs=profile.runs, base_seed=base_seed,
-        scheduler_factory=AsymmetryAwareScheduler,
+        scheduler_factory=AsymmetryAwareScheduler, backend=backend,
     ).run(TpchPowerRun(parallel_degree=8, optimization_degree=7,
                        queries=queries))
     return {"a": high_par, "b": low_opt, "fixed": fixed_kernel}
@@ -51,7 +55,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -11,8 +11,9 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import Runner
@@ -23,22 +24,25 @@ from repro.workloads.webserver import ApacheWorkload
 RUNS = 6
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
     runs = RUNS if profile.name == "paper" else profile.runs
     seconds = profile.web_measurement
+    backend = make_backend(jobs)
 
     def light(**kwargs):
         return ApacheWorkload("light", measurement_seconds=seconds,
                               **kwargs)
 
-    runner = Runner(runs=runs, base_seed=base_seed)
+    runner = Runner(runs=runs, base_seed=base_seed, backend=backend)
     data = {
         "light": runner.run(light()),
         "heavy": runner.run(ApacheWorkload(
             "heavy", measurement_seconds=seconds)),
         "asym_kernel": Runner(
             runs=runs, base_seed=base_seed,
-            scheduler_factory=AsymmetryAwareScheduler).run(light()),
+            scheduler_factory=AsymmetryAwareScheduler,
+            backend=backend).run(light()),
         "fine_grained": runner.run(light(fine_grained=True)),
     }
     return data
@@ -57,7 +61,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -8,8 +8,9 @@ schedules its own pinned processes.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import Runner
@@ -20,10 +21,12 @@ from repro.workloads.webserver import ZeusWorkload
 RUNS = 6
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
     runs = RUNS if profile.name == "paper" else profile.runs
     seconds = profile.web_measurement
-    runner = Runner(runs=runs, base_seed=base_seed)
+    backend = make_backend(jobs)
+    runner = Runner(runs=runs, base_seed=base_seed, backend=backend)
     return {
         "light": runner.run(ZeusWorkload(
             "light", measurement_seconds=seconds)),
@@ -31,7 +34,7 @@ def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
             "heavy", measurement_seconds=seconds)),
         "asym_kernel": Runner(
             configs=["2f-2s/8"], runs=runs, base_seed=base_seed,
-            scheduler_factory=AsymmetryAwareScheduler,
+            scheduler_factory=AsymmetryAwareScheduler, backend=backend,
         ).run(ZeusWorkload("light", measurement_seconds=seconds)),
     }
 
@@ -47,7 +50,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -12,18 +12,20 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
 from repro.workloads.specomp import BENCHMARK_NAMES, SpecOmpBenchmark
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
     runs = max(2, profile.runs)
     runner = Runner(configs=profile.omp_configs, runs=runs,
-                    base_seed=base_seed)
+                    base_seed=base_seed, backend=make_backend(jobs))
     data: Dict[str, Dict] = {"a": {}, "b": {}, "configs":
                              list(profile.omp_configs)}
     for name in BENCHMARK_NAMES:
@@ -47,7 +49,8 @@ def render(data: Dict) -> str:
     return "\n\n".join(blocks)
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

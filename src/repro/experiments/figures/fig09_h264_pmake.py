@@ -8,8 +8,9 @@ serial phases and soaks up extra parallel work.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_sweep
 from repro.experiments.runner import Runner
@@ -17,13 +18,17 @@ from repro.workloads.h264 import H264Encoder
 from repro.workloads.pmake import Pmake
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
     h264_runs = 4 if profile.name == "paper" else profile.runs
     pmake_runs = 2  # the paper shows two PMAKE runs
+    backend = make_backend(jobs)
     return {
-        "h264": Runner(runs=h264_runs, base_seed=base_seed).run(
+        "h264": Runner(runs=h264_runs, base_seed=base_seed,
+                       backend=backend).run(
             H264Encoder(frames=profile.h264_frames)),
-        "pmake": Runner(runs=pmake_runs, base_seed=base_seed).run(
+        "pmake": Runner(runs=pmake_runs, base_seed=base_seed,
+                        backend=backend).run(
             Pmake(n_files=profile.pmake_files)),
     }
 
@@ -37,7 +42,8 @@ def render(data: Dict) -> str:
     ])
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

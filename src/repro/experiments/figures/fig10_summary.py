@@ -11,8 +11,9 @@ The collected sweeps also feed Table 1 (see ``table1_summary``).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_speedups, format_table
 from repro.experiments.runner import ConfigSweep, Runner
@@ -29,14 +30,15 @@ from repro.workloads import (
 from repro.workloads.specomp import SpecOmpBenchmark
 
 
-def collect(profile: Profile = QUICK,
-            base_seed: int = 100) -> Dict[str, ConfigSweep]:
+def collect(profile: Profile = QUICK, base_seed: int = 100,
+            jobs: Optional[int] = None) -> Dict[str, ConfigSweep]:
     """Run every workload over the nine configurations.
 
     SPEC OMP is represented by one benchmark with the suite's typical
     static structure (swim); the full suite is Figure 8's job.
     """
-    runner = Runner(runs=profile.runs, base_seed=base_seed)
+    runner = Runner(runs=profile.runs, base_seed=base_seed,
+                    backend=make_backend(jobs))
     workloads = [
         SpecJAppServer(injection_rate=max(profile.injection_rates)),
         SpecJBB(warehouses=profile.specjbb_warehouses,
@@ -56,8 +58,9 @@ def collect(profile: Profile = QUICK,
             for workload in workloads}
 
 
-def run(profile: Profile = QUICK, base_seed: int = 100) -> Dict:
-    return {"sweeps": collect(profile, base_seed)}
+def run(profile: Profile = QUICK, base_seed: int = 100,
+        jobs: Optional[int] = None) -> Dict:
+    return {"sweeps": collect(profile, base_seed, jobs=jobs)}
 
 
 def render(data: Dict) -> str:
@@ -76,7 +79,8 @@ def render(data: Dict) -> str:
     return "\n\n".join(blocks)
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

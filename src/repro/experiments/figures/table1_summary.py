@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.analysis.classify import classify
 from repro.experiments.figures import fig10_summary
+from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK
 from repro.experiments.report import format_table
 from repro.experiments.runner import ConfigSweep, Runner
@@ -36,15 +37,18 @@ PAPER_TABLE1 = {
 
 
 def run(profile: Profile = QUICK, base_seed: int = 100,
-        sweeps: Optional[Dict[str, ConfigSweep]] = None) -> Dict:
+        sweeps: Optional[Dict[str, ConfigSweep]] = None,
+        jobs: Optional[int] = None) -> Dict:
+    backend = make_backend(jobs)
     if sweeps is None:
-        sweeps = fig10_summary.collect(profile, base_seed)
+        sweeps = fig10_summary.collect(profile, base_seed, jobs=jobs)
     classifications = {name: sweep.classification()
                        for name, sweep in sweeps.items()}
 
     # Re-measure the paper's remedies on the worst configuration.
     fixed_runner = Runner(runs=profile.runs, base_seed=base_seed,
-                          scheduler_factory=AsymmetryAwareScheduler)
+                          scheduler_factory=AsymmetryAwareScheduler,
+                          backend=backend)
     remedies = {
         "SPECjbb + asym kernel": fixed_runner.run(SpecJBB(
             warehouses=profile.specjbb_warehouses,
@@ -53,7 +57,8 @@ def run(profile: Profile = QUICK, base_seed: int = 100,
         "Apache + asym kernel": fixed_runner.run(ApacheWorkload(
             "light", measurement_seconds=profile.web_measurement)),
         "SPEC OMP modified": Runner(
-            runs=profile.runs, base_seed=base_seed).run(
+            runs=profile.runs, base_seed=base_seed,
+            backend=backend).run(
             SpecOmpBenchmark("swim", "modified")),
     }
     remedy_rows = {name: sweep.classification()
@@ -91,7 +96,8 @@ def render(data: Dict) -> str:
     return "\n\n".join(blocks)
 
 
-def main(profile: Profile = QUICK) -> str:
-    output = render(run(profile))
+def main(profile: Profile = QUICK,
+         jobs: Optional[int] = None) -> str:
+    output = render(run(profile, jobs=jobs))
     print(output)
     return output

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.classify import Classification, classify
 from repro.analysis.stats import Summary, speedup_over, summarize
+from repro.experiments.parallel import Backend, RunTask, make_backend
 from repro.machine.topology import STANDARD_CONFIG_LABELS
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
@@ -83,28 +84,46 @@ class Runner:
     scheduler_factory:
         Optional kernel scheduler override (e.g. the asymmetry-aware
         scheduler) applied to every run.
+    backend:
+        Execution backend from :mod:`repro.experiments.parallel`.
+        Defaults to serial execution in this process.
+    jobs:
+        Shorthand for ``backend=make_backend(jobs)``: ``None``/``0``/
+        ``1`` run serially, larger values fan runs out over that many
+        worker processes.  Ignored when ``backend`` is given.
+
+    Parallel and serial execution produce bit-identical sweeps: every
+    run derives its randomness from its own ``(config, seed)`` task and
+    results are reassembled in task order.
     """
 
     def __init__(self, configs: Sequence[str] = STANDARD_CONFIG_LABELS,
                  runs: int = 4, base_seed: int = 100,
                  scheduler_factory: Optional[SchedulerFactory] = None,
-                 ) -> None:
+                 backend: Optional[Backend] = None,
+                 jobs: Optional[int] = None) -> None:
         if runs < 1:
             raise ValueError("need at least one run per configuration")
         self.configs = list(configs)
         self.runs = runs
         self.base_seed = base_seed
         self.scheduler_factory = scheduler_factory
+        self.backend = backend if backend is not None \
+            else make_backend(jobs)
+
+    def tasks(self, workload: Workload) -> List[RunTask]:
+        """The sweep's independent run tasks, in deterministic order."""
+        return [RunTask(workload, label, self.base_seed + i,
+                        self.scheduler_factory)
+                for label in self.configs for i in range(self.runs)]
 
     def run(self, workload: Workload) -> ConfigSweep:
         """Run the sweep for one workload."""
         sweep = ConfigSweep(workload=workload.name,
                             primary_metric=workload.primary_metric,
                             higher_is_better=workload.higher_is_better)
+        results = iter(self.backend.execute(self.tasks(workload)))
         for label in self.configs:
-            sweep.results[label] = [
-                workload.run_once(label, seed=self.base_seed + i,
-                                  scheduler_factory=self.scheduler_factory)
-                for i in range(self.runs)
-            ]
+            sweep.results[label] = [next(results)
+                                    for _ in range(self.runs)]
         return sweep

@@ -42,6 +42,15 @@ _INSTANT_GUARD = 1_000_000
 #: an avalanche of infinitesimal slices.
 _MIN_SLICE = 1e-6
 
+_INF = float("inf")
+
+# The dispatch loop tests instruction types millions of times per run;
+# module-level aliases avoid re-resolving the attribute each check.
+_Compute = ins.Compute
+_Sleep = ins.Sleep
+_Lock = ins.Lock
+_Unlock = ins.Unlock
+
 
 class _Slice:
     """Bookkeeping for a compute slice in progress on a core."""
@@ -76,6 +85,10 @@ class Kernel:
         self._dispatch_pending: Dict[int, bool] = {
             core.index: False for core in machine.cores}
         self.threads: List[SimThread] = []
+        # Live bookkeeping so the run loop never scans self.threads:
+        # counts of non-daemon threads ever spawned / not yet terminated.
+        self._nondaemon_spawned = 0
+        self._nondaemon_live = 0
 
         # ---------------------------- metrics --------------------------
         self.context_switches = 0
@@ -100,6 +113,9 @@ class Kernel:
                 f"thread {thread.name!r} spawned twice")
         thread.spawn_time = self.sim.now
         self.threads.append(thread)
+        if not thread.daemon:
+            self._nondaemon_spawned += 1
+            self._nondaemon_live += 1
         self._make_ready(thread)
         return thread
 
@@ -119,29 +135,38 @@ class Kernel:
         (:class:`DeadlockError`).
         Returns the simulated time at which execution stopped.
         """
+        # This is the hot loop of every experiment: pop the next event
+        # as one queue call, fire it, and re-check the cheap live-count
+        # termination condition — no per-event scan of self.threads.
+        sim = self.sim
+        queue = sim._queue
+        pop_before = queue.pop_before
+        limit = _INF if until is None else until
         while True:
-            if self._workload_finished():
+            if self._nondaemon_live == 0 and self._nondaemon_spawned:
                 break
-            next_time = self.sim.peek_time()
-            if next_time is None:
-                blocked = [t.name for t in self.threads
-                           if not t.daemon and not t.terminated]
-                if blocked:
-                    raise DeadlockError(
-                        "simulation stalled with live threads: "
-                        + ", ".join(blocked), blocked)
-                if until is not None and until > self.sim.now:
-                    self.sim.advance_to(until)
+            item = pop_before(limit)
+            if item is None:
+                if queue.peek_time() is None:
+                    if self._nondaemon_live:
+                        blocked = [t.name for t in self.threads
+                                   if not t.daemon and not t.terminated]
+                        raise DeadlockError(
+                            "simulation stalled with live threads: "
+                            + ", ".join(blocked), blocked)
+                    if until is not None and until > sim._now:
+                        sim._now = until
+                elif until > sim._now:
+                    # Next event lies beyond the horizon.
+                    sim._now = until
                 break
-            if until is not None and next_time > until:
-                self.sim.advance_to(until)
-                break
-            self.sim.step()
-        return self.sim.now
+            sim._now = item[0]
+            sim._events_fired += 1
+            item[1](*item[2])
+        return sim._now
 
     def _workload_finished(self) -> bool:
-        non_daemon = [t for t in self.threads if not t.daemon]
-        return bool(non_daemon) and all(t.terminated for t in non_daemon)
+        return self._nondaemon_spawned > 0 and self._nondaemon_live == 0
 
     # ------------------------------------------------------------------
     # Metrics helpers
@@ -191,7 +216,7 @@ class Kernel:
         if self._dispatch_pending[core.index]:
             return
         self._dispatch_pending[core.index] = True
-        self.sim.schedule(0.0, self._do_dispatch, core)
+        self.sim.schedule_fast(0.0, self._do_dispatch, core)
 
     def _do_dispatch(self, core: Core) -> None:
         self._dispatch_pending[core.index] = False
@@ -199,8 +224,10 @@ class Kernel:
             return
         thread = self.scheduler.next_thread(core)
         if thread is None:
-            self.sim.tracer.record(self.sim.now, "sched",
-                                   event="idle", core=core.index)
+            tracer = self.sim.tracer
+            if "sched" in tracer.active:
+                tracer.record(self.sim.now, "sched",
+                              event="idle", core=core.index)
             return
         self._run(thread, core)
 
@@ -215,8 +242,10 @@ class Kernel:
         thread.state = ThreadState.RUNNING
         core.current_thread = thread
         self.context_switches += 1
-        self.sim.tracer.record(self.sim.now, "sched", event="run",
-                               thread=thread.name, core=core.index)
+        tracer = self.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.sim.now, "sched", event="run",
+                          thread=thread.name, core=core.index)
         self._process(thread, core)
 
     # ------------------------------------------------------------------
@@ -225,11 +254,13 @@ class Kernel:
     def _process(self, thread: SimThread, core: Core) -> None:
         """Drive ``thread`` on ``core`` until it computes, blocks,
         deschedules or terminates."""
+        body_send = thread.body.send
+        scheduler = self.scheduler
         for _ in range(_INSTANT_GUARD):
             instruction = thread.current_instruction
             if instruction is None:
                 try:
-                    instruction = thread.body.send(thread.send_value)
+                    instruction = body_send(thread.send_value)
                 except StopIteration as stop:
                     self._terminate(thread, core, stop.value)
                     return
@@ -239,17 +270,17 @@ class Kernel:
                         f"thread {thread.name!r} yielded "
                         f"{instruction!r}, not an Instruction")
                 thread.current_instruction = instruction
-                if isinstance(instruction, ins.Compute):
+                if isinstance(instruction, _Compute):
                     thread.remaining_cycles = instruction.cycles
-            if isinstance(instruction, ins.Compute):
+            if isinstance(instruction, _Compute):
                 if thread.remaining_cycles <= _CYCLE_EPSILON:
                     self._complete_instruction(thread, None)
                     continue
                 # Timeslice accounting spans instructions: a thread
                 # issuing many short computes must still be preempted
                 # at quantum granularity or it starves its runqueue.
-                if thread.quantum_used >= self.scheduler.quantum:
-                    if self.scheduler.should_preempt(core, thread):
+                if thread.quantum_used >= scheduler.quantum:
+                    if scheduler.should_preempt(core, thread):
                         self._requeue(thread, core)
                         return
                     thread.quantum_used = 0.0
@@ -290,8 +321,10 @@ class Kernel:
         thread.state = ThreadState.READY
         core.current_thread = None
         self._runqueues[core.index].append(thread)
-        self.sim.tracer.record(self.sim.now, "sched", event="preempt",
-                               thread=thread.name, core=core.index)
+        tracer = self.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.sim.now, "sched", event="preempt",
+                          thread=thread.name, core=core.index)
         self._request_dispatch(core)
 
     def _retire_slice(self, core: Core) -> SimThread:
@@ -332,7 +365,7 @@ class Kernel:
                 f"preempt_current on idle core {core.index}")
         piece = self._slices.get(core.index)
         if piece is not None:
-            piece.event.cancel()
+            self.sim.cancel(piece.event)
             thread = self._retire_slice(core)
         else:
             # Thread is mid-instant-instruction; cannot happen because
@@ -343,8 +376,10 @@ class Kernel:
         thread.state = ThreadState.READY
         core.current_thread = None
         self.preempt_pulls += 1
-        self.sim.tracer.record(self.sim.now, "sched", event="pull",
-                               thread=thread.name, core=core.index)
+        tracer = self.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.sim.now, "sched", event="pull",
+                          thread=thread.name, core=core.index)
         self._request_dispatch(core)
         return thread
 
@@ -354,8 +389,10 @@ class Kernel:
     def _block(self, thread: SimThread, reason: str) -> None:
         thread.state = ThreadState.BLOCKED
         thread.block_reason = reason
-        self.sim.tracer.record(self.sim.now, "sched", event="block",
-                               thread=thread.name, reason=reason)
+        tracer = self.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.sim.now, "sched", event="block",
+                          thread=thread.name, reason=reason)
 
     def _wake_blocked(self, thread: SimThread, result: Any = None) -> None:
         """Complete a blocked thread's instruction and make it ready."""
@@ -376,17 +413,17 @@ class Kernel:
         yielded, terminated elsewhere); False when it completed the
         instruction and keeps running.
         """
-        if isinstance(instruction, ins.Sleep):
+        if isinstance(instruction, _Sleep):
             thread.state = ThreadState.SLEEPING
             thread.block_reason = "sleep"
-            self.sim.schedule(instruction.seconds,
-                              self._wake_sleeper, thread)
+            self.sim.schedule_fast(instruction.seconds,
+                                   self._wake_sleeper, thread)
             return True
 
-        if isinstance(instruction, ins.Lock):
+        if isinstance(instruction, _Lock):
             return self._do_lock(thread, instruction.mutex)
 
-        if isinstance(instruction, ins.Unlock):
+        if isinstance(instruction, _Unlock):
             self._do_unlock(thread, instruction.mutex)
             self._complete_instruction(thread, None)
             return False
@@ -537,8 +574,12 @@ class Kernel:
         thread.return_value = value
         thread.current_instruction = None
         core.current_thread = None
-        self.sim.tracer.record(self.sim.now, "sched", event="exit",
-                               thread=thread.name, core=core.index)
+        if not thread.daemon:
+            self._nondaemon_live -= 1
+        tracer = self.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.sim.now, "sched", event="exit",
+                          thread=thread.name, core=core.index)
         joiners = thread.joiners
         thread.joiners = []
         for joiner in joiners:

@@ -6,45 +6,55 @@ scheduled for the same instant fire in the order they were scheduled.
 Determinism matters because the whole reproduction depends on run-to-run
 variance coming *only* from explicitly seeded random streams, never from
 incidental tie-breaking.
+
+Performance notes
+-----------------
+The heap stores plain tuples, never :class:`Event` objects, so heap
+sifting compares ``(time, seq)`` prefixes entirely in C.  Two entry
+shapes coexist (the sequence number is unique, so comparisons never
+reach the third element):
+
+* ``(time, seq, callback, args)`` — the *fast path* used by
+  :meth:`EventQueue.push_fast` for the overwhelming majority of events
+  (kernel dispatches, sleep timers, workload drivers) that are never
+  cancelled.  No per-event object is allocated at all.
+* ``(time, seq, event)`` — the cancellable path used by
+  :meth:`EventQueue.push`, which returns a slot-based :class:`Event`
+  handle.
+
+Cancellation is lazy (cancelled events stay buried in the heap and are
+skipped when they surface) but bounded: whenever cancelled entries
+outnumber live ones the heap is compacted in place, so timeout-style
+schedule/cancel traffic cannot grow the heap without bound.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Instances are returned by :meth:`EventQueue.push` (and by
-    ``Simulator.schedule``) and can be cancelled.  Cancelled events stay
-    in the heap but are skipped when popped; this is the standard lazy
-    deletion trick and keeps cancellation O(1).
+    ``Simulator.schedule``).  The object is a pure data slot — it holds
+    no reference back to its queue; cancel it through
+    :meth:`EventQueue.cancel` (or ``Simulator.cancel``) so the queue
+    can keep its live/cancelled bookkeeping exact.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple,
-                 queue: "EventQueue") -> None:
+                 callback: Callable[..., Any], args: tuple) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
-        self._queue = queue
-
-    def cancel(self) -> None:
-        """Prevent this event from firing.  Idempotent."""
-        if not self.cancelled:
-            self.cancelled = True
-            self._queue._live -= 1
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -53,42 +63,144 @@ class Event:
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of scheduled callbacks."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq = 0
         self._live = 0
+        self._cancelled = 0  # cancelled events still buried in the heap
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
         return self._live
 
+    def heap_size(self) -> int:
+        """Physical heap length, including lazily-deleted entries.
+
+        ``heap_size() - len(queue)`` is the number of cancelled events
+        awaiting compaction; the compaction policy keeps it at most
+        ``len(queue) + 1``.
+        """
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def push(self, time: float, callback: Callable[..., Any],
              args: tuple = ()) -> Event:
-        """Schedule ``callback(*args)`` at absolute ``time``."""
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Returns an :class:`Event` handle that can be cancelled via
+        :meth:`cancel`.  Call sites that never cancel should prefer
+        :meth:`push_fast`.
+        """
         if time != time:  # NaN guard: a NaN time would corrupt the heap
             raise SimulationError("event scheduled at NaN time")
-        event = Event(time, self._seq, callback, args, self)
+        event = Event(time, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
         return event
 
+    def push_fast(self, time: float, callback: Callable[..., Any],
+                  args: tuple = ()) -> None:
+        """Schedule an *uncancellable* callback with no Event allocation."""
+        if time != time:
+            raise SimulationError("event scheduled at NaN time")
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+        self._live += 1
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, event: Event) -> None:
+        """Prevent ``event`` from firing.  Idempotent.
+
+        Cancellation is O(1) (lazy deletion) except when cancelled
+        entries come to outnumber live ones, at which point the heap is
+        compacted — an amortized-O(log n) cost per cancel overall.
+        """
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > self._live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every cancelled entry from the heap and re-heapify."""
+        if not self._cancelled:
+            return
+        self._heap = [entry for entry in self._heap
+                      if len(entry) == 4 or not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
+        """Remove and return the earliest live event, or None if empty.
+
+        Fast-path entries are materialized into :class:`Event` objects
+        here for API uniformity; the simulator's run loop bypasses this
+        via :meth:`pop_before`.
+        """
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 3:
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._live -= 1
+                return event
             self._live -= 1
-            return event
+            return Event(entry[0], entry[1], entry[2], entry[3])
+        return None
+
+    def pop_before(self, limit: float,
+                   ) -> Optional[Tuple[float, Callable[..., Any], tuple]]:
+        """Pop the earliest live event iff its time is <= ``limit``.
+
+        Returns ``(time, callback, args)`` — the single hot-path call
+        the run loops make per event — or None when the queue is empty
+        or the next live event lies beyond ``limit`` (which is left in
+        place).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 3:
+                event = entry[2]
+                if event.cancelled:
+                    heapq.heappop(heap)
+                    self._cancelled -= 1
+                    continue
+                if entry[0] > limit:
+                    return None
+                heapq.heappop(heap)
+                self._live -= 1
+                return (entry[0], event.callback, event.args)
+            if entry[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return (entry[0], entry[2], entry[3])
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return entry[0]
+        return None

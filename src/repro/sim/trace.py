@@ -33,31 +33,38 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` objects for enabled categories."""
+    """Collects :class:`TraceRecord` objects for enabled categories.
+
+    ``active`` is the public set of enabled categories; hot paths guard
+    trace points with ``if "sched" in tracer.active`` so that a
+    disabled trace point costs one set-membership check and never
+    builds the keyword dict a :meth:`record` call would require.
+    """
 
     def __init__(self) -> None:
-        self._enabled: set = set()
+        #: Enabled categories (treat as read-only; use enable/disable).
+        self.active: set = set()
         self._records: List[TraceRecord] = []
         self._sinks: List[Callable[[TraceRecord], None]] = []
 
     def enable(self, *categories: str) -> None:
         """Start recording the given categories (e.g. ``"sched"``)."""
-        self._enabled.update(categories)
+        self.active.update(categories)
 
     def disable(self, *categories: str) -> None:
         for category in categories:
-            self._enabled.discard(category)
+            self.active.discard(category)
 
     def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
         """Also forward records to ``sink`` (e.g. ``print``)."""
         self._sinks.append(sink)
 
     def enabled(self, category: str) -> bool:
-        return category in self._enabled
+        return category in self.active
 
     def record(self, time: float, category: str, **details: Any) -> None:
         """Record a trace point if its category is enabled."""
-        if category not in self._enabled:
+        if category not in self.active:
             return
         rec = TraceRecord(time, category, tuple(sorted(details.items())))
         self._records.append(rec)

@@ -115,7 +115,7 @@ class SpecJAppServer(Workload):
                              on_done=on_customer_done))
             state.injected += 1
             gap = rng.jitter(1.0 / state.rate, 0.1)
-            system.sim.schedule(gap, inject)
+            system.sim.schedule_fast(gap, inject)
 
         def control() -> None:
             if system.now >= end:
@@ -128,10 +128,10 @@ class SpecJAppServer(Workload):
                 state.rate = min(state.rate * 1.08,
                                  self.injection_rate)
             state.reset_window()
-            system.sim.schedule(self.control_interval, control)
+            system.sim.schedule_fast(self.control_interval, control)
 
-        system.sim.schedule(0.0, inject)
-        system.sim.schedule(self.control_interval, control)
+        system.sim.schedule_fast(0.0, inject)
+        system.sim.schedule_fast(self.control_interval, control)
         system.run(until=end)
 
         manufacturing = sorted(state.manufacturing_responses)

@@ -123,7 +123,7 @@ class SpecJBB(Workload):
         def snapshot_warmup():
             counter.at_warmup_end = counter.transactions
 
-        system.sim.schedule(self.warmup_seconds, snapshot_warmup)
+        system.sim.schedule_fast(self.warmup_seconds, snapshot_warmup)
         end = self.warmup_seconds + self.measurement_seconds
         system.run(until=end)
 

@@ -81,12 +81,13 @@ class ClosedLoopClient:
         """Open all connection slots (staggered by network jitter)."""
         for slot in range(self.concurrency):
             delay = self.rng.uniform(0.0, self.network_delay)
-            self.system.sim.schedule(delay, self._issue, slot)
+            self.system.sim.schedule_fast(delay, self._issue, slot)
 
     def measure(self, warmup: float, duration: float) -> None:
         """Arrange metering of [warmup, warmup + duration]."""
-        self.system.sim.schedule(warmup, self._begin_measurement)
-        self.system.sim.schedule(warmup + duration, self._end_measurement)
+        self.system.sim.schedule_fast(warmup, self._begin_measurement)
+        self.system.sim.schedule_fast(warmup + duration,
+                                      self._end_measurement)
 
     def _begin_measurement(self) -> None:
         self._measuring = True
@@ -108,7 +109,7 @@ class ClosedLoopClient:
             self.measured_count += 1
             self.response_times.append(request.response_time)
         delay = self.rng.jitter(self.network_delay, 0.2)
-        self.system.sim.schedule(delay, self._issue, request.slot_id)
+        self.system.sim.schedule_fast(delay, self._issue, request.slot_id)
 
     # ------------------------------------------------------------------
     def throughput(self, duration: float) -> float:

@@ -1,0 +1,123 @@
+"""Tests for the experiment execution backends.
+
+The contract under test: parallel execution is an implementation
+detail.  A sweep run through :class:`ProcessPoolBackend` must be
+bit-identical to one run through :class:`SerialBackend`, and the
+result cache must make a repeated sweep cost zero simulations.
+"""
+
+import pytest
+
+from repro.experiments.parallel import (
+    ProcessPoolBackend,
+    ResultCache,
+    RunTask,
+    SerialBackend,
+    make_backend,
+    task_fingerprint,
+)
+from repro.experiments.runner import Runner
+from repro.kernel.asym_scheduler import AsymmetryAwareScheduler
+from repro.workloads.tpch import TpchQuery
+
+CONFIGS = ["4f-0s", "2f-2s/8"]
+
+
+def _workload():
+    return TpchQuery(3, parallel_degree=4, optimization_degree=7)
+
+
+def _sweep_metrics(sweep):
+    """ConfigSweep contents as a plain comparable structure."""
+    return {label: [(run.workload, run.config, run.seed,
+                     sorted(run.metrics.items()))
+                    for run in runs]
+            for label, runs in sweep.results.items()}
+
+
+class TestDeterminism:
+    def test_parallel_sweep_is_bit_identical_to_serial(self):
+        serial = Runner(configs=CONFIGS, runs=2, jobs=1).run(
+            _workload())
+        parallel = Runner(configs=CONFIGS, runs=2, jobs=4).run(
+            _workload())
+        assert _sweep_metrics(serial) == _sweep_metrics(parallel)
+
+    def test_parallel_sweep_identical_with_scheduler_factory(self):
+        serial = Runner(configs=["2f-2s/8"], runs=2,
+                        scheduler_factory=AsymmetryAwareScheduler,
+                        jobs=1).run(_workload())
+        parallel = Runner(configs=["2f-2s/8"], runs=2,
+                          scheduler_factory=AsymmetryAwareScheduler,
+                          jobs=4).run(_workload())
+        assert _sweep_metrics(serial) == _sweep_metrics(parallel)
+
+    def test_results_preserve_task_order(self):
+        backend = ProcessPoolBackend(jobs=2)
+        tasks = [RunTask(_workload(), config, seed)
+                 for config in CONFIGS for seed in (100, 101)]
+        results = backend.execute(tasks)
+        assert [(r.config, r.seed) for r in results] == \
+            [(t.config, t.seed) for t in tasks]
+
+
+class TestResultCache:
+    def test_second_sweep_runs_zero_simulations(self):
+        cache = ResultCache()
+        backend = SerialBackend(cache=cache)
+        runner = Runner(configs=CONFIGS, runs=2, backend=backend)
+        first = runner.run(_workload())
+        after_first = backend.simulations_run
+        assert after_first == len(CONFIGS) * 2
+        second = runner.run(_workload())
+        assert backend.simulations_run == after_first
+        assert _sweep_metrics(first) == _sweep_metrics(second)
+
+    def test_cache_shared_across_backends(self):
+        cache = ResultCache()
+        SerialBackend(cache=cache).execute(
+            [RunTask(_workload(), "4f-0s", 100)])
+        warm = ProcessPoolBackend(jobs=2, cache=cache)
+        warm.execute([RunTask(_workload(), "4f-0s", 100)])
+        assert warm.simulations_run == 0
+
+    def test_distinct_inputs_are_cache_misses(self):
+        cache = ResultCache()
+        backend = SerialBackend(cache=cache)
+        backend.execute([RunTask(_workload(), "4f-0s", 100),
+                         RunTask(_workload(), "4f-0s", 101),
+                         RunTask(_workload(), "2f-2s/8", 100)])
+        assert backend.simulations_run == 3
+
+
+class TestFingerprint:
+    def test_same_task_same_fingerprint(self):
+        a = RunTask(_workload(), "4f-0s", 100)
+        b = RunTask(_workload(), "4f-0s", 100)
+        assert task_fingerprint(a) == task_fingerprint(b)
+
+    @pytest.mark.parametrize("other", [
+        RunTask(_workload(), "4f-0s", 101),          # seed
+        RunTask(_workload(), "2f-2s/8", 100),        # config
+        RunTask(TpchQuery(3, parallel_degree=8,      # workload params
+                          optimization_degree=7), "4f-0s", 100),
+        RunTask(_workload(), "4f-0s", 100,           # scheduler
+                AsymmetryAwareScheduler),
+    ])
+    def test_any_input_change_changes_fingerprint(self, other):
+        base = RunTask(_workload(), "4f-0s", 100)
+        assert task_fingerprint(base) != task_fingerprint(other)
+
+
+class TestMakeBackend:
+    def test_none_zero_and_one_are_serial(self):
+        for jobs in (None, 0, 1):
+            assert isinstance(make_backend(jobs), SerialBackend)
+
+    def test_larger_counts_build_a_pool(self):
+        backend = make_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 3
+
+    def test_runner_defaults_to_serial(self):
+        assert isinstance(Runner().backend, SerialBackend)

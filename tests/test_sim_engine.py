@@ -34,23 +34,64 @@ class TestEventQueue:
         queue = EventQueue()
         event = queue.push(1.0, lambda: None)
         keeper = queue.push(2.0, lambda: None)
-        event.cancel()
+        queue.cancel(event)
         assert len(queue) == 1
         assert queue.pop() is keeper
 
     def test_cancel_is_idempotent(self):
         queue = EventQueue()
         event = queue.push(1.0, lambda: None)
-        event.cancel()
-        event.cancel()
+        queue.cancel(event)
+        queue.cancel(event)
         assert len(queue) == 0
 
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()
         early = queue.push(1.0, lambda: None)
         queue.push(2.0, lambda: None)
-        early.cancel()
+        queue.cancel(early)
         assert queue.peek_time() == 2.0
+
+    def test_fast_path_events_interleave_with_cancellable(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_fast(2.0, fired.append, ("fast",))
+        cancellable = queue.push(1.0, fired.append, ("slow",))
+        queue.push_fast(1.0, fired.append, ("tie",))
+        assert len(queue) == 3
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.callback(*event.args)
+        # Same time: schedule order wins, regardless of entry kind.
+        assert fired == ["slow", "tie", "fast"]
+        assert not cancellable.cancelled
+
+    def test_heap_compacts_when_cancelled_outnumber_live(self):
+        queue = EventQueue()
+        events = [queue.push(float(i + 1), lambda: None)
+                  for i in range(1000)]
+        queue.push(5000.0, lambda: None)  # one survivor
+        for event in events:
+            queue.cancel(event)
+        assert len(queue) == 1
+        # Lazy deletion must not leave the heap full of corpses: the
+        # compaction policy bounds dead entries by live ones, so the
+        # heap holds at most 2 * live entries.
+        assert queue.heap_size() <= 2 * len(queue)
+
+    def test_timeout_pattern_keeps_heap_bounded(self):
+        # Timeout style: schedule a guard event, then cancel it because
+        # the guarded operation completed early.  Repeated forever this
+        # must not grow the heap.
+        queue = EventQueue()
+        queue.push_fast(1e9, lambda: None)  # long-lived sentinel
+        for i in range(10_000):
+            event = queue.push(1e6 + i, lambda: None)
+            queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.heap_size() <= 3
 
     def test_nan_time_rejected(self):
         queue = EventQueue()
