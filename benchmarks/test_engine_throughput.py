@@ -11,6 +11,7 @@ times) into ``benchmarks/results/BENCH_engine.json`` via the
 across commits.
 """
 
+import gc
 import json
 import os
 import time
@@ -46,13 +47,25 @@ def bench_json(results_dir):
                     + "\n")
 
 
-def _best_seconds(fn, repeats=5):
-    """Best-of-N wall time — robust against --benchmark-disable runs."""
+def _best_seconds(fn, repeats=9):
+    """Best-of-N wall time — robust against --benchmark-disable runs.
+
+    Runs with the cyclic collector off (after clearing existing debt):
+    a generation-2 collection landing inside the timed region scans
+    every object the host process has accumulated — under a full
+    pytest session that skews later benchmarks by tens of percent
+    depending on execution order.
+    """
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        finally:
+            gc.enable()
     return best
 
 

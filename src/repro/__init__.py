@@ -20,6 +20,7 @@ See ``examples/quickstart.py`` and DESIGN.md.
 
 from repro._system import System
 from repro.machine import Machine, MachineConfig, STANDARD_CONFIG_LABELS
+from repro.metrics import RunMetrics
 
 __version__ = "1.0.0"
 
@@ -27,6 +28,7 @@ __all__ = [
     "System",
     "Machine",
     "MachineConfig",
+    "RunMetrics",
     "STANDARD_CONFIG_LABELS",
     "__version__",
 ]

@@ -16,8 +16,10 @@ worker processes; results are bit-identical to a serial run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import metrics as _metrics
 from repro.experiments.figures import ALL_EXHIBITS
 from repro.experiments.profiles import get_profile
 from repro.machine import (
@@ -47,7 +49,8 @@ def _cmd_validate() -> int:
 
 
 def _cmd_exhibit(name: str, profile_name: str,
-                 jobs: int = 0) -> int:
+                 jobs: int = 0,
+                 metrics_out: str = None) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -56,11 +59,25 @@ def _cmd_exhibit(name: str, profile_name: str,
     else:
         print(f"unknown exhibit {name!r}; try 'list'", file=sys.stderr)
         return 2
-    for exhibit in names:
-        module = ALL_EXHIBITS[exhibit]
-        print(f"== {exhibit} ".ljust(72, "="))
-        module.main(profile, jobs=jobs)
-        print()
+    sink = _metrics.MetricsSink() if metrics_out else None
+    if sink is not None:
+        _metrics.install_sink(sink)
+    try:
+        for exhibit in names:
+            module = ALL_EXHIBITS[exhibit]
+            print(f"== {exhibit} ".ljust(72, "="))
+            module.main(profile, jobs=jobs)
+            print()
+    finally:
+        if sink is not None:
+            _metrics.remove_sink()
+    if sink is not None:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(sink.as_payload(), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(sink.records)} run metrics "
+              f"records to {metrics_out}")
     return 0
 
 
@@ -79,12 +96,17 @@ def main(argv=None) -> int:
                         help="worker processes for simulation runs "
                              "(0 or 1: serial; results are identical "
                              "either way)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write per-run simulation metrics "
+                             "(RunMetrics JSON) for every run the "
+                             "exhibit executes to PATH")
     args = parser.parse_args(argv)
     if args.exhibit == "list":
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
-    return _cmd_exhibit(args.exhibit, args.profile, args.jobs)
+    return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
+                        metrics_out=args.metrics_out)
 
 
 if __name__ == "__main__":

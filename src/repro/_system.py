@@ -52,6 +52,20 @@ class System:
         return self.sim.now
 
     @property
+    def counters(self):
+        """Workload-level named counters (see :mod:`repro.metrics`).
+
+        Runtime and workload models increment these by name, e.g.
+        ``system.counters.incr("gc.collections")``; they end up in the
+        run's :class:`~repro.metrics.RunMetrics`.
+        """
+        return self.kernel.metrics.counters
+
+    def run_metrics(self):
+        """Snapshot the run's always-on counters as ``RunMetrics``."""
+        return self.kernel.run_metrics()
+
+    @property
     def label(self) -> str:
         return self.machine.label
 

@@ -10,6 +10,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.profiles import PAPER, QUICK, Profile, get_profile
 from repro.experiments.report import (
+    format_metrics,
     format_series,
     format_speedups,
     format_sweep,
@@ -33,5 +34,6 @@ __all__ = [
     "format_sweep",
     "format_speedups",
     "format_series",
+    "format_metrics",
     "ALL_EXHIBITS",
 ]

@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro import metrics as _metrics
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
 
@@ -163,6 +164,9 @@ class SerialBackend:
             if cache is not None:
                 cache.store(key, result)
             results.append(result)
+        sink = _metrics.active_sink()
+        if sink is not None:
+            sink.extend(results)
         return results
 
 
@@ -221,6 +225,9 @@ class ProcessPoolBackend:
                     if cache is not None:
                         cache.store(
                             task_fingerprint(tasks[index]), result)
+        sink = _metrics.active_sink()
+        if sink is not None:
+            sink.extend(results)
         return results  # type: ignore[return-value]
 
 

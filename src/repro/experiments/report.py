@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ConfigSweep
+from repro.metrics import RunMetrics
 
 
 def format_table(headers: Sequence[str],
@@ -56,6 +57,47 @@ def format_speedups(sweeps: Dict[str, ConfigSweep],
         speedups = sweep.speedups(baseline)
         rows.append([name] + [f"{speedups[c]:.2f}" for c in configs])
     return format_table(headers, rows)
+
+
+def format_metrics(metrics: RunMetrics,
+                   counters: bool = True) -> str:
+    """Render a :class:`RunMetrics` the way the sweeps are rendered.
+
+    One row per core (busy/idle/utilization/dispatches/migrations),
+    then kernel-wide totals, then — unless ``counters`` is false — the
+    workload counter bag sorted by name.
+    """
+    rows: List[List[str]] = []
+    for core in metrics.cores:
+        rows.append([
+            f"cpu{core.index}",
+            core.speed_class,
+            f"{core.busy_seconds:.3f}",
+            f"{core.idle_seconds:.3f}",
+            f"{core.utilization:.3f}",
+            str(core.dispatches),
+            str(core.migrations_in),
+            f"{core.mean_runqueue:.2f}",
+        ])
+    table = format_table(
+        ["core", "class", "busy", "idle", "util",
+         "disp", "mig-in", "mean-rq"], rows)
+    lines = [
+        f"{metrics.config} — {metrics.scheduler} "
+        f"({metrics.runs} run{'s' if metrics.runs != 1 else ''}, "
+        f"{metrics.duration:.3f}s simulated)",
+        table,
+        (f"context switches: {metrics.context_switches}  "
+         f"migrations: {metrics.migrations}  "
+         f"preemptions: {metrics.preemptions}  "
+         f"threads: {metrics.threads_finished}/"
+         f"{metrics.threads_spawned}"),
+    ]
+    if counters and metrics.counters:
+        counter_rows = [[name, f"{value:g}"]
+                        for name, value in sorted(metrics.counters.items())]
+        lines.append(format_table(["counter", "value"], counter_rows))
+    return "\n".join(lines)
 
 
 def format_series(title: str, xs: Sequence[float],

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.classify import Classification, classify
 from repro.analysis.stats import Summary, speedup_over, summarize
 from repro.experiments.parallel import Backend, RunTask, make_backend
+from repro.metrics import RunMetrics
 from repro.machine.topology import STANDARD_CONFIG_LABELS
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
@@ -61,6 +62,32 @@ class ConfigSweep:
         base = means[baseline]
         return {label: speedup_over(base, value, self.higher_is_better)
                 for label, value in means.items()}
+
+    def run_metrics(self, label: str) -> List[RunMetrics]:
+        """Per-run simulation metrics for one configuration.
+
+        Raises :class:`ValueError` if any run predates the metrics
+        layer (e.g. results deserialized from an old cache).
+        """
+        out = []
+        for run in self.results[label]:
+            if run.run_metrics is None:
+                raise ValueError(
+                    f"run {run.seed} on {label} carries no RunMetrics")
+            out.append(run.run_metrics)
+        return out
+
+    def merged_metrics(self, label: Optional[str] = None) -> RunMetrics:
+        """Deterministic aggregate of per-run simulation metrics.
+
+        With ``label``, merges that configuration's repetitions; without,
+        merges every run in the sweep.  Merge order is the sweep's
+        result order, which is the deterministic task order — so serial
+        and process-pool executions produce identical aggregates.
+        """
+        labels = [label] if label is not None else list(self.results)
+        items = [m for lab in labels for m in self.run_metrics(lab)]
+        return RunMetrics.merge(items)
 
     def classification(self) -> Classification:
         """This sweep's Table 1 row."""

@@ -29,6 +29,7 @@ from repro.kernel.scheduler import Scheduler, SymmetricScheduler
 from repro.kernel.thread import SimThread, ThreadState
 from repro.machine.core import Core
 from repro.machine.topology import Machine
+from repro.metrics import MetricsCollector, RunMetrics
 from repro.sim.engine import Simulator
 
 #: Cycle-accounting slack for floating point (half a cycle).
@@ -94,6 +95,10 @@ class Kernel:
         self.context_switches = 0
         self.migrations = 0
         self.preempt_pulls = 0
+        #: Always-on structured counters (see :mod:`repro.metrics`).
+        #: Hot paths update its per-core lists inline; snapshot with
+        #: :meth:`run_metrics`.
+        self.metrics = MetricsCollector(machine)
 
     # ------------------------------------------------------------------
     # Public API
@@ -185,6 +190,14 @@ class Kernel:
         else:
             semaphore.permits += 1
 
+    def run_metrics(self) -> RunMetrics:
+        """Snapshot the always-on counters into a :class:`RunMetrics`.
+
+        Safe to call mid-run: in-flight compute slices are folded in
+        without touching kernel state.
+        """
+        return self.metrics.snapshot(self)
+
     def core_utilization(self) -> Dict[int, float]:
         """Busy fraction per core since time zero."""
         if self.sim.now <= 0:
@@ -235,13 +248,23 @@ class Kernel:
         if thread.state is not ThreadState.READY:
             raise SchedulingError(
                 f"dispatching {thread.name!r} in state {thread.state}")
-        if thread.last_core is not None and thread.last_core != core.index:
+        index = core.index
+        if thread.last_core is not None and thread.last_core != index:
             thread.migrations += 1
             self.migrations += 1
-        thread.last_core = core.index
+            core.migrations_in += 1
+        thread.last_core = index
         thread.state = ThreadState.RUNNING
         core.current_thread = thread
         self.context_switches += 1
+        # Always-on dispatch counters: queue length is sampled at every
+        # dispatch (after the dispatched thread left the queue).
+        core.dispatches += 1
+        queued = len(self._runqueues[index])
+        if queued:
+            core.rq_total += queued
+            if queued > core.rq_max:
+                core.rq_max = queued
         tracer = self.sim.tracer
         if "sched" in tracer.active:
             tracer.record(self.sim.now, "sched", event="run",
@@ -311,12 +334,17 @@ class Kernel:
                      _MIN_SLICE)
         length = min(seconds_needed, budget)
         event = self.sim.schedule(length, self._on_slice_end, core)
-        self._slices[core.index] = _Slice(thread, self.sim.now,
-                                          core.rate, event)
+        now = self.sim.now
+        # Close the idle gap since the last slice retired here (zero
+        # when slices abut); idle is accumulated independently of busy
+        # so their sum being the run duration is a real invariant.
+        core.idle_seconds += now - core.idle_since
+        self._slices[core.index] = _Slice(thread, now, core.rate, event)
 
     def _requeue(self, thread: SimThread, core: Core) -> None:
         """Put the running thread at the back of its core's queue."""
         thread.preemptions += 1
+        core.preemptions += 1
         thread.quantum_used = 0.0
         thread.state = ThreadState.READY
         core.current_thread = None
@@ -330,14 +358,17 @@ class Kernel:
     def _retire_slice(self, core: Core) -> SimThread:
         """Account for the (possibly partial) slice running on core."""
         piece = self._slices.pop(core.index)
-        elapsed = self.sim.now - piece.start
+        now = self.sim.now
+        elapsed = now - piece.start
         cycles = elapsed * piece.rate
         thread = piece.thread
         thread.remaining_cycles = max(0.0, thread.remaining_cycles - cycles)
         thread.account_execution(core.index, elapsed, cycles)
-        thread.last_ran_at = self.sim.now
+        thread.last_ran_at = now
         thread.quantum_used += elapsed
         core.busy_time += elapsed
+        core.busy_cycles += cycles
+        core.idle_since = now
         return thread
 
     def _on_slice_end(self, core: Core) -> None:
@@ -373,6 +404,7 @@ class Kernel:
             raise SchedulingError(
                 f"core {core.index} busy without a compute slice")
         thread.preemptions += 1
+        core.preemptions += 1
         thread.state = ThreadState.READY
         core.current_thread = None
         self.preempt_pulls += 1

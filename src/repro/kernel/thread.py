@@ -90,6 +90,9 @@ class SimThread:
         self.preemptions = 0
         #: Busy seconds broken down by core index.
         self.core_seconds: Dict[int, float] = defaultdict(float)
+        #: Cycles retired broken down by core index (feeds the
+        #: per-speed-class split in :mod:`repro.metrics`).
+        self.core_cycles: Dict[int, float] = defaultdict(float)
 
     # ------------------------------------------------------------------
     @property
@@ -110,6 +113,7 @@ class SimThread:
         self.cpu_seconds += seconds
         self.cycles_retired += cycles
         self.core_seconds[core_index] += seconds
+        self.core_cycles[core_index] += cycles
 
     def lifetime(self) -> Optional[float]:
         """Spawn-to-finish wall time, if the thread has terminated."""

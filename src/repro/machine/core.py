@@ -44,6 +44,28 @@ class Core:
         self.modulation = ClockModulation(duty_cycle)
         #: Accumulated busy time in simulated seconds (kernel-maintained).
         self.busy_time = 0.0
+        #: Cycles retired on this core (kernel-maintained); tracked
+        #: separately from ``busy_time`` because the effective rate can
+        #: change between slices (duty-cycle reprogramming).
+        self.busy_cycles = 0.0
+        # Always-on observability counters (see repro.metrics).  They
+        # live directly on the core — not behind a collector lookup —
+        # because the kernel dispatch loop increments them millions of
+        # times per run and one attribute access is the whole budget.
+        #: Threads dispatched onto this core.
+        self.dispatches = 0
+        #: Dispatches whose thread last ran on a different core.
+        self.migrations_in = 0
+        #: Involuntary descheduling events (quantum expiry + pulls).
+        self.preemptions = 0
+        #: Sum / max of runqueue length sampled at each dispatch.
+        self.rq_total = 0
+        self.rq_max = 0
+        #: Idle seconds, accumulated independently of ``busy_time``
+        #: (kernel-maintained; see the cycle-conservation invariant).
+        self.idle_seconds = 0.0
+        #: When the core last became idle (slice retirement time).
+        self.idle_since = 0.0
         #: The thread currently executing here, if any (kernel-maintained).
         self.current_thread: Optional[object] = None
 

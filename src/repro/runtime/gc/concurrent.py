@@ -61,10 +61,19 @@ class ConcurrentCollector:
 
     def _body(self):
         heap = self.heap
+        machine = self.system.machine
+        counters = self.system.kernel.metrics.counters
         while True:
             if heap.occupancy >= heap.trigger_bytes:
                 work = heap.occupancy * self.cycles_per_byte
                 yield Compute(work)
+                # Where the collection finished is the paper's decisive
+                # mechanism: a cycle crawling on a slow core is what
+                # lets allocation outrun reclamation.
+                core = machine.cores[self.thread.last_core]
+                speed = "fast" if core.rate == machine.fastest_rate \
+                    else "slow"
+                counters.incr(f"gc.cycles_on_{speed}_core")
                 heap.reclaim()
                 self.cycles_completed += 1
             else:

@@ -109,9 +109,12 @@ class ManagedHeap:
             gate = Semaphore(0, name="heap-stall")
             self._waiters.append((gate, stall_start))
             self.stall_count += 1
+            self.system.counters.incr("gc.stalls")
             yield Acquire(gate)
             stall_end = yield GetTime()
             self.stall_time += stall_end - stall_start
+            self.system.counters.incr("gc.stall_seconds",
+                                      stall_end - stall_start)
         self.occupancy += nbytes
 
     def reclaim(self) -> float:
@@ -126,6 +129,9 @@ class ManagedHeap:
         self.collecting = False
         self.collections += 1
         kernel = self.system.kernel
+        counters = kernel.metrics.counters
+        counters.incr("gc.collections")
+        counters.incr("gc.bytes_reclaimed", reclaimed)
         while self._waiters:
             gate, _ = self._waiters.popleft()
             kernel.semaphore_release(gate)

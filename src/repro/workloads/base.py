@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 
 from repro._system import System
 from repro.kernel.scheduler import Scheduler
+from repro.metrics import RunMetrics
 
 #: Builds a fresh scheduler per run (schedulers are stateful).
 SchedulerFactory = Callable[[], Scheduler]
@@ -21,12 +22,19 @@ SchedulerFactory = Callable[[], Scheduler]
 
 @dataclass
 class RunResult:
-    """Metrics from a single workload run on one configuration."""
+    """Metrics from a single workload run on one configuration.
+
+    ``metrics`` holds the workload-level numbers the figures plot;
+    ``run_metrics`` is the simulation's always-on observability
+    snapshot (per-core accounting, migrations, workload counters — see
+    :mod:`repro.metrics`), attached by every workload's ``run_once``.
+    """
 
     workload: str
     config: str
     seed: int
     metrics: Dict[str, float] = field(default_factory=dict)
+    run_metrics: Optional[RunMetrics] = None
 
     def metric(self, name: str) -> float:
         try:
@@ -62,6 +70,14 @@ class Workload(abc.ABC):
         """Run the workload once; return its metrics."""
 
     def result(self, config: str, seed: int,
+               system: Optional[System] = None,
                **metrics: float) -> RunResult:
-        """Convenience constructor for :class:`RunResult`."""
-        return RunResult(self.name, config, seed, dict(metrics))
+        """Convenience constructor for :class:`RunResult`.
+
+        Passing the run's ``system`` attaches its
+        :class:`~repro.metrics.RunMetrics` snapshot.
+        """
+        return RunResult(
+            self.name, config, seed, dict(metrics),
+            run_metrics=system.run_metrics()
+            if system is not None else None)

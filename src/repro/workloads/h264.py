@@ -184,4 +184,4 @@ class H264Encoder(Workload):
         return RunResult(self.name, config, seed, {
             "runtime": system.now,
             "frames_per_second": self.frames / system.now,
-        })
+        }, run_metrics=system.run_metrics())

@@ -148,7 +148,8 @@ class SpecJAppServer(Workload):
             metrics["p90_response"] = \
                 manufacturing[int(0.9 * (len(manufacturing) - 1))]
             metrics["max_response"] = manufacturing[-1]
-        return RunResult(self.name, config, seed, metrics)
+        return RunResult(self.name, config, seed, metrics,
+                         run_metrics=system.run_metrics())
 
 
 class _DriverState:

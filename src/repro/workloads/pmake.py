@@ -100,4 +100,4 @@ class Pmake(Workload):
         return RunResult(self.name, config, seed, {
             "runtime": system.now,
             "files_per_second": self.n_files / system.now,
-        })
+        }, run_metrics=system.run_metrics())

@@ -129,8 +129,9 @@ class SpecJBB(Workload):
 
         measured = counter.transactions - counter.at_warmup_end
         throughput = measured / self.measurement_seconds
+        system.counters.incr("specjbb.transactions", float(measured))
         return self.result(
-            config, seed,
+            config, seed, system=system,
             throughput=throughput,
             transactions=float(measured),
             gc_stall_time=vm.stall_time,

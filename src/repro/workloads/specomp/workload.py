@@ -53,7 +53,7 @@ class SpecOmpBenchmark(Workload):
             "runtime": elapsed,
             "serial_fraction": program.serial_fraction(),
             "chunks": float(sum(team.chunks_taken)),
-        })
+        }, run_metrics=system.run_metrics())
 
 
 def suite(variant: str = "reference") -> Dict[str, SpecOmpBenchmark]:

@@ -81,14 +81,25 @@ class DatabaseServer:
         pairing changes run to run.  Use from a coordinator thread
         body as ``yield from server.run_query(plan)``.
         """
-        n_cores = self.system.machine.n_cores
+        machine = self.system.machine
+        counters = self.system.kernel.metrics.counters
+        n_cores = machine.n_cores
+        fastest = machine.fastest_rate
         pieces = list(plan.pieces)
         self.dispatch_rng.shuffle(pieces)
         start = self.dispatch_rng.randrange(n_cores)
+        counters.incr("db2.queries")
         for offset, piece in enumerate(pieces):
             core = (start + offset) % n_cores
             process = self._pick_process_on(core)
             process.queue.append(piece)
+            # The agent scheduler is blind to core speed; record which
+            # class each piece landed on — the run-to-run variable the
+            # paper identifies as deciding the query's runtime.
+            speed = "fast" if machine.cores[core].rate == fastest \
+                else "slow"
+            counters.incr(f"db2.dispatch.{speed}")
+            counters.incr("db2.dispatch.cycles_" + speed, piece.cycles)
             self.system.kernel.semaphore_release(process.gate)
         for _ in pieces:
             yield Acquire(self._completions)

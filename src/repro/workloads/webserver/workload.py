@@ -64,7 +64,8 @@ class _WebWorkload(Workload):
             metrics["p90_response"] = times[int(0.9 * (len(times) - 1))]
             metrics["max_response"] = times[-1]
         self._extra_metrics(server, metrics)
-        return RunResult(self.name, config, seed, metrics)
+        return RunResult(self.name, config, seed, metrics,
+                         run_metrics=system.run_metrics())
 
     def _extra_metrics(self, server, metrics) -> None:
         """Subclass hook for server-specific metrics."""

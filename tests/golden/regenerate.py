@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate the golden fixtures in this directory.
+
+Run from the repository root (writes ``tests/golden/*.json``)::
+
+    python tests/golden/regenerate.py
+
+Only commit regenerated fixtures when a simulator change is *meant*
+to alter behaviour; the accompanying diff is the review artifact —
+an unexplained diff in a golden file is a regression, not an update.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from tests import harness  # noqa: E402
+
+
+def main() -> int:
+    for name, build in harness.GOLDEN_RUNS.items():
+        path = harness.golden_path(name)
+        text = harness.canonical_json(build())
+        changed = (not path.exists()
+                   or path.read_text(encoding="utf-8") != text)
+        path.write_text(text, encoding="utf-8")
+        print(f"{'updated' if changed else 'unchanged'}  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

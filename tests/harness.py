@@ -1,0 +1,234 @@
+"""Reusable invariant checkers and golden-run registry.
+
+The observability layer (:mod:`repro.metrics`) turns every simulation
+into a set of structured books; this module holds the checkers that
+audit those books, shared across the test suite:
+
+* :func:`assert_conservation` — per-core ``busy + idle == duration``
+  and per-class cycle accounting, via
+  :meth:`repro.metrics.RunMetrics.conservation_errors`.
+* :func:`trace_consistency_errors` — cross-checks a ``"sched"`` trace
+  against the counters derived independently from it (dispatches,
+  migrations, preemptions, pulls).
+* :class:`FastCoreIdleWatcher` — the paper's §3.1.1 invariant as a
+  live trace sink: under the asymmetry-aware policy no core goes idle
+  while a strictly slower core still runs a thread.
+* ``GOLDEN_RUNS`` — the registry of small fixed-seed simulations whose
+  canonical JSON lives in ``tests/golden/`` (regenerate with
+  ``python tests/golden/regenerate.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+from repro import System
+from repro.kernel import AsymmetryAwareScheduler, Compute, SimThread
+from repro.metrics import (
+    CONSERVATION_ATOL,
+    CONSERVATION_RTOL,
+    RunMetrics,
+)
+from repro.sim.trace import TraceRecord
+from repro.workloads.specjbb import SpecJBB
+from repro.workloads.tpch.workload import TpchQuery
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers
+# ----------------------------------------------------------------------
+def assert_conservation(metrics: RunMetrics,
+                        rtol: float = CONSERVATION_RTOL,
+                        atol: float = CONSERVATION_ATOL) -> None:
+    """Fail with every violated conservation law listed."""
+    errors = metrics.conservation_errors(rtol=rtol, atol=atol)
+    assert not errors, \
+        "cycle conservation violated:\n  " + "\n  ".join(errors)
+
+
+def trace_consistency_errors(metrics: RunMetrics,
+                             records: List[TraceRecord]) -> List[str]:
+    """Discrepancies between a ``"sched"`` trace and the counters.
+
+    The counters are incremented by the kernel independently of the
+    tracer (they are always on; the trace is opt-in), so agreement is
+    a genuine cross-check, not a tautology:
+
+    * one ``run`` record per dispatch, per core and in total;
+    * migrations: a thread ``run`` on a different core than its
+      previous ``run``, per destination core and in total;
+    * ``preempt`` + ``pull`` records == preemptions; ``pull`` records
+      == pull migrations.
+    """
+    errors: List[str] = []
+    runs = [r for r in records if r.get("event") == "run"]
+    if len(runs) != metrics.context_switches:
+        errors.append(f"trace has {len(runs)} run records but "
+                      f"counters say {metrics.context_switches} "
+                      "context switches")
+
+    per_core_runs: Dict[int, int] = {}
+    per_core_migrations: Dict[int, int] = {}
+    last_core: Dict[str, int] = {}
+    migrations = 0
+    for record in runs:
+        core = record.get("core")
+        thread = record.get("thread")
+        per_core_runs[core] = per_core_runs.get(core, 0) + 1
+        previous = last_core.get(thread)
+        if previous is not None and previous != core:
+            migrations += 1
+            per_core_migrations[core] = \
+                per_core_migrations.get(core, 0) + 1
+        last_core[thread] = core
+    if migrations != metrics.migrations:
+        errors.append(f"trace implies {migrations} migrations but "
+                      f"counters say {metrics.migrations}")
+    for core in metrics.cores:
+        traced = per_core_runs.get(core.index, 0)
+        if traced != core.dispatches:
+            errors.append(f"core {core.index}: {traced} traced runs "
+                          f"!= {core.dispatches} counted dispatches")
+        traced_in = per_core_migrations.get(core.index, 0)
+        if traced_in != core.migrations_in:
+            errors.append(f"core {core.index}: {traced_in} traced "
+                          f"migrations in != {core.migrations_in} "
+                          "counted")
+
+    preempts = sum(1 for r in records
+                   if r.get("event") in ("preempt", "pull"))
+    if preempts != metrics.preemptions:
+        errors.append(f"trace has {preempts} preempt/pull records but "
+                      f"counters say {metrics.preemptions} preemptions")
+    pulls = sum(1 for r in records if r.get("event") == "pull")
+    if pulls != metrics.preempt_pulls:
+        errors.append(f"trace has {pulls} pull records but counters "
+                      f"say {metrics.preempt_pulls} pull migrations")
+    return errors
+
+
+class FastCoreIdleWatcher:
+    """Trace sink asserting fast cores never idle before slow ones.
+
+    Paper §3.1.1: under the asymmetry-aware policy a core must not go
+    idle while a strictly slower core still runs a thread — pull
+    migration should have yanked the thread over.  Attach with
+    :func:`watch_fast_cores` before the run, then call
+    :meth:`assert_clean`.
+    """
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.violations: List[tuple] = []
+
+    def __call__(self, record: TraceRecord) -> None:
+        if record.get("event") != "idle":
+            return
+        core = self.machine.cores[record.get("core")]
+        for other in self.machine.cores:
+            if other.rate < core.rate and \
+                    other.current_thread is not None:
+                self.violations.append(
+                    (record.time, core.index, other.index))
+
+    def assert_clean(self) -> None:
+        assert self.violations == [], (
+            "fast core went idle while a slower core was busy at: "
+            f"{self.violations[:10]}")
+
+
+def watch_fast_cores(system: System) -> FastCoreIdleWatcher:
+    """Enable sched tracing on ``system`` and attach a watcher."""
+    watcher = FastCoreIdleWatcher(system.machine)
+    system.sim.tracer.enable("sched")
+    system.sim.tracer.add_sink(watcher)
+    return watcher
+
+
+# ----------------------------------------------------------------------
+# Golden runs
+# ----------------------------------------------------------------------
+def _golden_specjbb() -> Dict[str, Any]:
+    """SPECjbb, stock scheduler, asymmetric machine (Figure 1 regime)."""
+    workload = SpecJBB(warehouses=2, measurement_seconds=0.4,
+                       warmup_seconds=0.1)
+    result = workload.run_once("2f-2s/8", seed=42)
+    return {
+        "kind": "run",
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+        "run_metrics": result.run_metrics.as_dict(),
+    }
+
+
+def _golden_tpch() -> Dict[str, Any]:
+    """TPC-H Q3, asymmetry-aware scheduler (§3.3 with the kernel fix)."""
+    workload = TpchQuery(query=3)
+    result = workload.run_once("1f-3s/8", seed=7,
+                               scheduler_factory=AsymmetryAwareScheduler)
+    return {
+        "kind": "run",
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+        "run_metrics": result.run_metrics.as_dict(),
+    }
+
+
+def _golden_sched_trace() -> Dict[str, Any]:
+    """Full scheduler decision sequence of a tiny deterministic run.
+
+    Four compute-only threads on the 1f-3s/8 machine under the
+    asymmetry-aware policy: small enough that the whole event list is
+    reviewable by hand, rich enough to exercise dispatch, preemption,
+    pull migration and exit.
+    """
+    system = System.build("1f-3s/8", seed=11,
+                          scheduler=AsymmetryAwareScheduler())
+    system.sim.tracer.enable("sched")
+
+    def body(cycles):
+        yield Compute(cycles)
+
+    for index, cycles in enumerate([4e8, 2.5e8, 1.5e8, 0.8e8]):
+        system.kernel.spawn(SimThread(f"t{index}", body(cycles)))
+    duration = system.run()
+    events = [record.as_dict()
+              for record in system.sim.tracer.records("sched")]
+    return {
+        "kind": "trace",
+        "config": "1f-3s/8",
+        "seed": 11,
+        "duration": duration,
+        "events": events,
+        "run_metrics": system.run_metrics().as_dict(),
+    }
+
+
+#: name -> zero-argument callable producing the canonical payload.
+GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "specjbb_2f-2s_stock_seed42": _golden_specjbb,
+    "tpch_q3_1f-3s_asym_seed7": _golden_tpch,
+    "sched_trace_1f-3s_asym_seed11": _golden_sched_trace,
+}
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """The byte-exact form stored in ``tests/golden/``."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def load_golden(name: str) -> Dict[str, Any]:
+    with open(golden_path(name), "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,66 @@
+"""Golden-trace regression tests.
+
+Each fixture in ``tests/golden/`` is the canonical JSON of a small
+fixed-seed simulation (run metrics, and for the kernel case the full
+scheduler decision trace).  The simulator is deterministic, so any
+diff against these files is a behaviour change: either a regression,
+or an intentional change that must ship with regenerated fixtures
+(``python tests/golden/regenerate.py``) and an explanation.
+"""
+
+import json
+
+import pytest
+
+from tests import harness
+
+
+@pytest.mark.parametrize("name", sorted(harness.GOLDEN_RUNS))
+def test_golden_fixture_matches(name):
+    expected = harness.load_golden(name)
+    actual = harness.GOLDEN_RUNS[name]()
+    # Compare canonical renderings: byte-identical files are the
+    # contract (the CI diff of a golden file is the review artifact).
+    assert harness.canonical_json(actual) == \
+        harness.canonical_json(expected)
+
+
+@pytest.mark.parametrize("name", sorted(harness.GOLDEN_RUNS))
+def test_golden_fixture_is_canonical_on_disk(name):
+    """Files must be exactly what regenerate.py would write."""
+    text = harness.golden_path(name).read_text(encoding="utf-8")
+    assert text == harness.canonical_json(json.loads(text))
+
+
+@pytest.mark.parametrize("name", sorted(harness.GOLDEN_RUNS))
+def test_golden_metrics_conserve_cycles(name):
+    """The stored fixtures themselves satisfy the conservation laws."""
+    payload = harness.load_golden(name)
+    metrics = harness.RunMetrics.from_dict(payload["run_metrics"])
+    harness.assert_conservation(metrics)
+
+
+def test_golden_sched_trace_consistent_with_counters():
+    """Replaying the traced run, the sched trace agrees with the
+    always-on counters (which are maintained independently)."""
+    payload = harness.load_golden("sched_trace_1f-3s_asym_seed11")
+    from repro import System
+    from repro.kernel import AsymmetryAwareScheduler, Compute, SimThread
+
+    system = System.build(payload["config"], seed=payload["seed"],
+                          scheduler=AsymmetryAwareScheduler())
+    system.sim.tracer.enable("sched")
+    watcher = harness.FastCoreIdleWatcher(system.machine)
+    system.sim.tracer.add_sink(watcher)
+
+    def body(cycles):
+        yield Compute(cycles)
+
+    for index, cycles in enumerate([4e8, 2.5e8, 1.5e8, 0.8e8]):
+        system.kernel.spawn(SimThread(f"t{index}", body(cycles)))
+    system.run()
+    metrics = system.run_metrics()
+    records = system.sim.tracer.records("sched")
+    errors = harness.trace_consistency_errors(metrics, records)
+    assert errors == []
+    watcher.assert_clean()

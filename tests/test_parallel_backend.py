@@ -61,6 +61,42 @@ class TestDeterminism:
             [(t.config, t.seed) for t in tasks]
 
 
+class TestMetricsDeterminism:
+    """RunMetrics are part of the bit-identical contract."""
+
+    @staticmethod
+    def _metrics_json(sweep):
+        return {label: [run.run_metrics.to_json() for run in runs]
+                for label, runs in sweep.results.items()}
+
+    def test_run_metrics_byte_identical_serial_vs_parallel(self):
+        serial = Runner(configs=CONFIGS, runs=2, jobs=1).run(
+            _workload())
+        parallel = Runner(configs=CONFIGS, runs=2, jobs=4).run(
+            _workload())
+        assert self._metrics_json(serial) == \
+            self._metrics_json(parallel)
+        # ...and so are the deterministic merges, per config and
+        # sweep-wide.
+        for label in CONFIGS:
+            assert serial.merged_metrics(label).to_json() == \
+                parallel.merged_metrics(label).to_json()
+        assert serial.merged_metrics().to_json() == \
+            parallel.merged_metrics().to_json()
+
+    def test_merged_metrics_counts_all_runs(self):
+        sweep = Runner(configs=CONFIGS, runs=3, jobs=1).run(_workload())
+        assert sweep.merged_metrics(CONFIGS[0]).runs == 3
+        assert sweep.merged_metrics().runs == 3 * len(CONFIGS)
+
+    def test_merged_metrics_requires_run_metrics(self):
+        sweep = Runner(configs=["4f-0s"], runs=1, jobs=1).run(
+            _workload())
+        sweep.results["4f-0s"][0].run_metrics = None
+        with pytest.raises(ValueError):
+            sweep.merged_metrics("4f-0s")
+
+
 class TestResultCache:
     def test_second_sweep_runs_zero_simulations(self):
         cache = ResultCache()

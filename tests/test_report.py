@@ -1,0 +1,147 @@
+"""Unit tests for the plain-text report renderers."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_metrics,
+    format_series,
+    format_speedups,
+    format_sweep,
+    format_table,
+)
+from repro.experiments.runner import ConfigSweep
+from repro.metrics import CoreMetrics, RunMetrics
+from repro.workloads.base import RunResult
+
+
+def _sweep(name="W", values=((10.0, 12.0), (5.0, 5.0)),
+           configs=("4f-0s", "0f-4s/8"), higher_is_better=True):
+    results = {}
+    for config, runs in zip(configs, values):
+        results[config] = [
+            RunResult(name, config, seed, {"throughput": value})
+            for seed, value in enumerate(runs)]
+    return ConfigSweep(workload=name, primary_metric="throughput",
+                       higher_is_better=higher_is_better,
+                       results=results)
+
+
+class TestFormatTable:
+    def test_columns_align_to_widest_cell(self):
+        text = format_table(["a", "long-header"],
+                            [["wide-cell", "x"], ["y", "z"]])
+        lines = text.splitlines()
+        assert len({len(line.rstrip()) for line in lines[:2]}) == 1
+        assert lines[1] == "---------  -----------"
+
+    def test_no_rows_still_renders_header(self):
+        lines = format_table(["h1", "h2"], []).splitlines()
+        assert lines[0].split() == ["h1", "h2"]
+        assert len(lines) == 2
+
+
+class TestFormatSweep:
+    def test_one_row_per_config_with_stats(self):
+        text = format_sweep(_sweep())
+        assert "W — throughput" in text
+        assert "4f-0s" in text and "0f-4s/8" in text
+        assert "11.00" in text        # mean of (10, 12)
+        assert "10.00..12.00" in text
+
+    def test_explicit_metric_and_unit(self):
+        text = format_sweep(_sweep(), metric="throughput", unit="ops")
+        assert "11.00ops" in text
+
+
+class TestFormatSpeedups:
+    def test_empty_input_reports_no_data(self):
+        assert format_speedups({}) == "(no data)"
+
+    def test_matrix_of_speedups_over_baseline(self):
+        sweeps = {"W": _sweep()}
+        text = format_speedups(sweeps, baseline="0f-4s/8")
+        # 11 ops vs the 5 ops baseline: 2.20x; baseline itself 1.00.
+        assert "2.20" in text and "1.00" in text
+        assert text.splitlines()[0].split() == \
+            ["workload", "4f-0s", "0f-4s/8"]
+
+    def test_lower_is_better_inverts_ratio(self):
+        sweeps = {"W": _sweep(values=((2.0, 2.0), (4.0, 4.0)),
+                              higher_is_better=False)}
+        text = format_speedups(sweeps, baseline="0f-4s/8")
+        assert "2.00" in text
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            format_speedups({"W": _sweep()}, baseline="nope")
+
+
+class TestFormatSeries:
+    def test_rows_follow_xs(self):
+        text = format_series("T", [1, 2],
+                             {"a": [10.0, 20.0], "b": [1.5, 2.5]},
+                             x_name="warehouses")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].split() == ["warehouses", "a", "b"]
+        assert lines[3].split() == ["1", "10.0", "1.5"]
+        assert lines[4].split() == ["2", "20.0", "2.5"]
+
+    def test_empty_sweep_renders_header_only(self):
+        lines = format_series("T", [], {"a": []}).splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 3  # title + header + rule, no rows
+
+    def test_no_series_at_all(self):
+        lines = format_series("T", [1.0], {}).splitlines()
+        assert lines[1].split() == ["x"]
+        assert lines[3].split() == ["1"]
+
+
+class TestFormatMetrics:
+    @staticmethod
+    def _metrics(counters=None):
+        cores = [
+            CoreMetrics(index=0, speed_class="fast", rate_hz=2e9,
+                        busy_seconds=0.75, idle_seconds=0.25,
+                        busy_cycles=1.5e9, dispatches=10,
+                        migrations_in=2, preemptions=1,
+                        runqueue_samples=10, runqueue_total=5,
+                        runqueue_max=3),
+            CoreMetrics(index=1, speed_class="slow", rate_hz=1e9,
+                        busy_seconds=1.0, idle_seconds=0.0,
+                        busy_cycles=1e9, dispatches=4,
+                        migrations_in=0, preemptions=0,
+                        runqueue_samples=4, runqueue_total=0,
+                        runqueue_max=0),
+        ]
+        return RunMetrics(
+            config="1f-1s/2", scheduler="asymmetry-aware",
+            duration=1.0, context_switches=14, migrations=2,
+            preemptions=1, preempt_pulls=1, threads_spawned=3,
+            threads_finished=3, cores=cores,
+            counters=dict(counters or {}))
+
+    def test_per_core_rows_and_totals(self):
+        text = format_metrics(self._metrics())
+        assert "1f-1s/2 — asymmetry-aware (1 run, 1.000s simulated)" \
+            in text
+        assert "cpu0" in text and "cpu1" in text
+        assert "0.750" in text          # cpu0 busy & utilization
+        assert "context switches: 14" in text
+        assert "threads: 3/3" in text
+
+    def test_counters_render_sorted(self):
+        text = format_metrics(self._metrics(
+            {"z.last": 2.0, "a.first": 1.0}))
+        assert text.index("a.first") < text.index("z.last")
+
+    def test_counters_can_be_suppressed(self):
+        metrics = self._metrics({"gc.collections": 3.0})
+        assert "gc.collections" in format_metrics(metrics)
+        assert "gc.collections" not in format_metrics(metrics,
+                                                      counters=False)
+
+    def test_plural_runs_header(self):
+        metrics = RunMetrics.merge([self._metrics(), self._metrics()])
+        assert "(2 runs, 2.000s simulated)" in format_metrics(metrics)
