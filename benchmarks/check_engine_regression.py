@@ -19,11 +19,18 @@ every check is hardware-independent:
   the seed-commit event queue (the documented optimization target),
   scaled for host differences via the baseline's own speedup.
 
+The baseline defaults to the *committed* pin
+``benchmarks/results/BENCH_baseline.json``, which only
+``benchmarks/update_baseline.py`` may rewrite — never the benchmark
+run itself.  (Comparing against a baseline measured from the same
+commit would let a regression ship alongside its own relaxed
+baseline.)
+
 Usage::
 
     python benchmarks/check_engine_regression.py \
-        --baseline /path/to/committed/BENCH_engine.json \
-        --fresh benchmarks/results/BENCH_engine.json
+        [--baseline benchmarks/results/BENCH_baseline.json] \
+        [--fresh benchmarks/results/BENCH_engine.json]
 """
 
 from __future__ import annotations
@@ -44,6 +51,9 @@ DEFAULT_TOLERANCE = 0.15
 
 DEFAULT_FRESH = (Path(__file__).resolve().parent
                  / "results" / "BENCH_engine.json")
+
+DEFAULT_BASELINE = (Path(__file__).resolve().parent
+                    / "results" / "BENCH_baseline.json")
 
 
 def dispatch_ratio(bench: dict) -> float:
@@ -94,8 +104,10 @@ def check(baseline: dict, fresh: dict,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare engine benchmark JSON against baseline")
-    parser.add_argument("--baseline", required=True, type=Path,
-                        help="committed BENCH_engine.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE,
+                        help="pinned baseline numbers "
+                             "(default: %(default)s)")
     parser.add_argument("--fresh", type=Path, default=DEFAULT_FRESH,
                         help="freshly measured BENCH_engine.json")
     parser.add_argument("--tolerance", type=float,

@@ -54,8 +54,6 @@ def test_ablation_gc_headroom(benchmark, results_dir):
     def sweep():
         rows = []
         for trigger in (0.5, 0.7, 0.9):
-            workload = SpecJBB(warehouses=8, gc=GCKind.CONCURRENT,
-                               measurement_seconds=1.0)
             workload_trigger = trigger
 
             class Tuned(SpecJBB):

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Promote freshly measured engine numbers to the pinned baseline.
+
+``benchmarks/results/BENCH_baseline.json`` is the *committed* baseline
+that CI's regression guard compares against.  It must never be edited
+by hand and never regenerated implicitly by a benchmark run — a
+regression co-committed with its own baseline would pass CI.  This
+tool is the only supported way to move it::
+
+    # 1. measure (writes benchmarks/results/BENCH_engine.json)
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_throughput.py -q
+
+    # 2. promote the fresh numbers
+    python benchmarks/update_baseline.py
+
+    # 3. commit the diff — it IS the review artifact
+
+Use ``--check`` to verify the fresh numbers against the pinned
+baseline without touching anything (what CI does, via
+``check_engine_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+FRESH = RESULTS / "BENCH_engine.json"
+BASELINE = RESULTS / "BENCH_baseline.json"
+
+
+def promote(fresh: Path, baseline: Path) -> int:
+    if not fresh.exists():
+        print(
+            f"no fresh measurement at {fresh}; run the engine "
+            "throughput benchmarks first (see module docstring)",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.loads(fresh.read_text(encoding="utf-8"))
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    unchanged = baseline.exists() and baseline.read_text(encoding="utf-8") == text
+    if unchanged:
+        print(f"unchanged  {baseline}")
+        return 0
+    baseline.write_text(text, encoding="utf-8")
+    print(f"updated    {baseline}")
+    print("commit the diff: it is the review artifact for the new")
+    print("performance envelope")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Promote BENCH_engine.json to the pinned baseline"
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=FRESH,
+        help="freshly measured numbers (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE,
+        help="pinned baseline to update (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the regression guard instead of promoting",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        from check_engine_regression import main as check_main
+
+        return check_main(
+            ["--baseline", str(args.baseline), "--fresh", str(args.fresh)]
+        )
+    return promote(args.fresh, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ See ``examples/quickstart.py`` and DESIGN.md.
 """
 
 from repro._system import System
+from repro.faults import FaultSchedule
 from repro.machine import Machine, MachineConfig, STANDARD_CONFIG_LABELS
 from repro.metrics import RunMetrics
 
@@ -26,6 +27,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "System",
+    "FaultSchedule",
     "Machine",
     "MachineConfig",
     "RunMetrics",

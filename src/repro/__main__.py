@@ -19,6 +19,7 @@ import argparse
 import json
 import sys
 
+from repro import faults as _faults
 from repro import metrics as _metrics
 from repro.experiments.figures import ALL_EXHIBITS
 from repro.experiments.profiles import get_profile
@@ -50,7 +51,8 @@ def _cmd_validate() -> int:
 
 def _cmd_exhibit(name: str, profile_name: str,
                  jobs: int = 0,
-                 metrics_out: str = None) -> int:
+                 metrics_out: str = None,
+                 faults_path: str = None) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -62,6 +64,13 @@ def _cmd_exhibit(name: str, profile_name: str,
     sink = _metrics.MetricsSink() if metrics_out else None
     if sink is not None:
         _metrics.install_sink(sink)
+    if faults_path is not None:
+        schedule = _faults.FaultSchedule.load(faults_path)
+        _faults.install_default_schedule(schedule)
+        summary = ", ".join(f"{kind}={count}" for kind, count
+                            in sorted(schedule.counts().items()))
+        print(f"fault schedule: {len(schedule)} events ({summary}) "
+              f"from {faults_path}")
     try:
         for exhibit in names:
             module = ALL_EXHIBITS[exhibit]
@@ -71,6 +80,8 @@ def _cmd_exhibit(name: str, profile_name: str,
     finally:
         if sink is not None:
             _metrics.remove_sink()
+        if faults_path is not None:
+            _faults.clear_default_schedule()
     if sink is not None:
         with open(metrics_out, "w", encoding="utf-8") as handle:
             json.dump(sink.as_payload(), handle,
@@ -100,13 +111,19 @@ def main(argv=None) -> int:
                         help="write per-run simulation metrics "
                              "(RunMetrics JSON) for every run the "
                              "exhibit executes to PATH")
+    parser.add_argument("--faults", metavar="SCHEDULE.json",
+                        default=None,
+                        help="inject the fault schedule (throttle/"
+                             "offline/stall events; see repro.faults) "
+                             "into every run of the exhibit")
     args = parser.parse_args(argv)
     if args.exhibit == "list":
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
     return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
-                        metrics_out=args.metrics_out)
+                        metrics_out=args.metrics_out,
+                        faults_path=args.faults)
 
 
 if __name__ == "__main__":

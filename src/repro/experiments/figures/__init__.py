@@ -16,6 +16,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig08_specomp,
     fig09_h264_pmake,
     fig10_summary,
+    fig11_dynamic_asym,
     table1_summary,
 )
 
@@ -30,6 +31,7 @@ ALL_EXHIBITS = {
     "fig08": fig08_specomp,
     "fig09": fig09_h264_pmake,
     "fig10": fig10_summary,
+    "fig11": fig11_dynamic_asym,
     "table1": table1_summary,
 }
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.analysis.classify import classify
 from repro.experiments.figures import fig10_summary
 from repro.experiments.parallel import make_backend
 from repro.experiments.profiles import Profile, QUICK

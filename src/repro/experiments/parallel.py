@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
+from repro import faults as _faults
 from repro import metrics as _metrics
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
@@ -101,6 +102,14 @@ def task_fingerprint(task: RunTask) -> str:
         parts.append("scheduler="
                      f"{getattr(factory, '__module__', '')}."
                      f"{getattr(factory, '__qualname__', repr(factory))}")
+    if task.workload.faults is None:
+        # The workload will fall back to the process-wide default
+        # fault schedule at run time, so it is part of the task's
+        # identity (a workload-attached schedule is already covered by
+        # the instance-attribute walk above).
+        default = _faults.default_schedule()
+        if default is not None:
+            parts.append(f"faults={default.to_json()}")
     parts.append(f"config={task.config}")
     parts.append(f"seed={task.seed}")
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))
@@ -215,7 +224,14 @@ class ProcessPoolBackend:
         if pending:
             chunk = self.chunk_size or max(
                 1, len(pending) // (self.jobs * 4))
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            # Worker processes must see the same process-wide default
+            # fault schedule as this process, or a --faults sweep would
+            # diverge between serial and parallel execution.
+            with ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_faults.install_default_payload,
+                    initargs=(_faults.default_schedule_payload(),),
+            ) as pool:
                 fresh = pool.map(execute_task,
                                  [tasks[i] for i in pending],
                                  chunksize=chunk)

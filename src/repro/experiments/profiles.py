@@ -9,8 +9,8 @@ tests use ``QUICK``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,11 @@ class Profile:
     pmake_files: int = 790
     #: jAppServer injection rates of Figure 3(b).
     injection_rates: Tuple[int, ...] = (250, 290, 320)
+    #: Throttle-storm intensity for the Figure 11 dynamic-asymmetry
+    #: exhibit: mean fault events per simulated second, and the mean
+    #: recovery window of a transient throttle.
+    storm_events_per_second: float = 25.0
+    storm_recovery_mean: float = 0.02
 
 
 PAPER = Profile(

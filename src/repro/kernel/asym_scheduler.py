@@ -69,7 +69,8 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
         maximal on an asymmetric machine.
         """
         victims = [v for v in self.kernel.machine.cores
-                   if v is not core and self.kernel.runqueue(v.index)]
+                   if v is not core and v.online
+                   and self.kernel.runqueue(v.index)]
         victims.sort(key=lambda v: (v.rate,
                                     -len(self.kernel.runqueue(v.index))))
         return victims
@@ -89,6 +90,7 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
         candidates = [
             victim for victim in self.kernel.machine.cores
             if victim is not core
+            and victim.online
             and victim.rate < core.rate
             and victim.current_thread is not None
             and victim.current_thread.allowed_on(core.index)
@@ -160,7 +162,8 @@ class RankOnlyAsymmetryScheduler(AsymmetryAwareScheduler):
 
     def _steal_victims(self, core):
         victims = [v for v in self.kernel.machine.cores
-                   if v is not core and self.kernel.runqueue(v.index)]
+                   if v is not core and v.online
+                   and self.kernel.runqueue(v.index)]
         victims.sort(key=lambda v: (-self._rank(v),
                                     -len(self.kernel.runqueue(v.index))))
         return victims
@@ -169,6 +172,7 @@ class RankOnlyAsymmetryScheduler(AsymmetryAwareScheduler):
         candidates = [
             victim for victim in self.kernel.machine.cores
             if victim is not core
+            and victim.online
             and self._rank(victim) > self._rank(core)
             and victim.current_thread is not None
             and victim.current_thread.allowed_on(core.index)

@@ -21,7 +21,7 @@ and the event order deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Generator, List, Optional
+from typing import Any, Deque, Dict, Generator, List, Optional
 
 from repro.errors import DeadlockError, SchedulingError, SimulationError
 from repro.kernel import instructions as ins
@@ -224,7 +224,7 @@ class Kernel:
         self._request_dispatch(core)
 
     def _request_dispatch(self, core: Core) -> None:
-        if core.current_thread is not None:
+        if core.current_thread is not None or not core.online:
             return
         if self._dispatch_pending[core.index]:
             return
@@ -233,7 +233,7 @@ class Kernel:
 
     def _do_dispatch(self, core: Core) -> None:
         self._dispatch_pending[core.index] = False
-        if core.current_thread is not None:
+        if core.current_thread is not None or not core.online:
             return
         thread = self.scheduler.next_thread(core)
         if thread is None:
@@ -414,6 +414,119 @@ class Kernel:
                           thread=thread.name, core=core.index)
         self._request_dispatch(core)
         return thread
+
+    # ------------------------------------------------------------------
+    # Dynamic asymmetry (fault injection entry points)
+    # ------------------------------------------------------------------
+    def reprogram_core(self, core: Core, duty_cycle: float) -> float:
+        """Reprogram a core's duty cycle mid-run; returns the snapped
+        value.
+
+        The heart of dynamic asymmetry: any in-flight compute slice is
+        re-split — the partial slice retires at the *old* rate, the
+        modulation register switches, and the remainder of the
+        instruction resumes at the new rate — so cycle accounting stays
+        exact across the speed step.  The per-duty time-at-speed books
+        on the core are closed out at the same instant.
+        """
+        piece = self._slices.get(core.index)
+        thread = None
+        if piece is not None:
+            self.sim.cancel(piece.event)
+            thread = self._retire_slice(core)
+        core.record_speed_change(self.sim.now)
+        snapped = core.set_duty_cycle(duty_cycle)
+        if thread is not None:
+            if thread.remaining_cycles <= _CYCLE_EPSILON:
+                self._complete_instruction(thread, None)
+                self._process(thread, core)
+            elif thread.quantum_used >= self.scheduler.quantum \
+                    and self.scheduler.should_preempt(core, thread):
+                self._requeue(thread, core)
+            else:
+                if thread.quantum_used >= self.scheduler.quantum:
+                    thread.quantum_used = 0.0
+                self._start_slice(thread, core)
+        return snapped
+
+    def set_core_offline(self, core: Core) -> None:
+        """Hot-unplug ``core``: migrate its work off, stop scheduling.
+
+        The running thread (if any) is preempted mid-slice and
+        re-placed through the scheduler, then the core's entire run
+        queue is drained the same way.  Idempotent.  Refuses to strand
+        the machine: the last online core cannot go offline.
+        """
+        if not core.online:
+            return
+        if not any(c.online for c in self.machine.cores if c is not core):
+            raise SchedulingError(
+                f"cannot take core {core.index} offline: it is the "
+                "last online core")
+        core.online = False
+        tracer = self.sim.tracer
+        if core.current_thread is not None:
+            piece = self._slices.get(core.index)
+            if piece is None:  # pragma: no cover - invariant guard
+                raise SchedulingError(
+                    f"core {core.index} busy without a compute slice")
+            self.sim.cancel(piece.event)
+            thread = self._retire_slice(core)
+            thread.preemptions += 1
+            core.preemptions += 1
+            core.current_thread = None
+            thread.state = ThreadState.READY
+            self.metrics.counters.incr("faults.offline_migrations")
+            if "sched" in tracer.active:
+                tracer.record(self.sim.now, "sched", event="preempt",
+                              thread=thread.name, core=core.index,
+                              reason="offline")
+            self._make_ready(thread)
+        queue = self._runqueues[core.index]
+        while queue:
+            self.metrics.counters.incr("faults.offline_migrations")
+            self._make_ready(queue.popleft())
+
+    def set_core_online(self, core: Core) -> None:
+        """Bring a hot-unplugged core back; it may steal work at once.
+
+        Idempotent — onlining an online core is a no-op.
+        """
+        if core.online:
+            return
+        core.online = True
+        self._request_dispatch(core)
+
+    def stall_current(self, core: Core, seconds: float) -> bool:
+        """Block the thread running on ``core`` for ``seconds``.
+
+        Models an I/O hiccup: the partial compute slice retires, the
+        thread blocks (its in-flight instruction is preserved), and
+        after the stall window it becomes ready again and resumes the
+        remaining cycles wherever the scheduler places it.  Returns
+        False without side effects when the core runs no thread.
+        """
+        if seconds <= 0:
+            raise SimulationError(
+                f"stall duration must be positive, got {seconds}")
+        if core.current_thread is None:
+            return False
+        piece = self._slices.get(core.index)
+        if piece is None:  # pragma: no cover - invariant guard
+            raise SchedulingError(
+                f"core {core.index} busy without a compute slice")
+        self.sim.cancel(piece.event)
+        thread = self._retire_slice(core)
+        core.current_thread = None
+        self._block(thread, "fault.stall")
+        self.sim.schedule_fast(seconds, self._resume_stalled, thread)
+        self._request_dispatch(core)
+        return True
+
+    def _resume_stalled(self, thread: SimThread) -> None:
+        """End a fault stall: requeue without completing the in-flight
+        instruction (its remaining cycles resume on dispatch)."""
+        self._make_ready(thread)
 
     # ------------------------------------------------------------------
     # Blocking and waking

@@ -72,11 +72,17 @@ class Scheduler:
     # Shared helpers
     # ------------------------------------------------------------------
     def _allowed_cores(self, thread: "SimThread") -> List[Core]:
+        """Online cores the thread's affinity permits.
+
+        Offline cores (fault injection hot-unplug) are never
+        placement candidates; a thread whose affinity names only
+        offline cores is a scheduling error.
+        """
         cores = [core for core in self.kernel.machine.cores
-                 if thread.allowed_on(core.index)]
+                 if core.online and thread.allowed_on(core.index)]
         if not cores:
             raise SchedulingError(
-                f"thread {thread.name!r} has empty effective affinity")
+                f"thread {thread.name!r} has no online allowed core")
         return cores
 
     def _load(self, core: Core) -> int:
@@ -159,7 +165,8 @@ class SymmetricScheduler(Scheduler):
     def _steal_victims(self, core: Core) -> List[Core]:
         """Victim cores ordered by preference (longest queue first)."""
         victims = [v for v in self.kernel.machine.cores
-                   if v is not core and self.kernel.runqueue(v.index)]
+                   if v is not core and v.online
+                   and self.kernel.runqueue(v.index)]
         victims.sort(key=lambda v: -len(self.kernel.runqueue(v.index)))
         return victims
 

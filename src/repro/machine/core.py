@@ -12,7 +12,7 @@ downstream depends on the absolute value — only on ratios between cores
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.machine.duty_cycle import ClockModulation
@@ -68,6 +68,15 @@ class Core:
         self.idle_since = 0.0
         #: The thread currently executing here, if any (kernel-maintained).
         self.current_thread: Optional[object] = None
+        #: False while the core is hot-unplugged (fault injection); an
+        #: offline core is never scheduled and accumulates idle time.
+        self.online = True
+        #: Wall seconds spent at each duty cycle before the current one
+        #: (time-at-speed books; the open interval since
+        #: ``speed_since`` is folded in at snapshot time).
+        self.time_at_speed: Dict[float, float] = {}
+        #: When the current duty cycle took effect.
+        self.speed_since = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -99,6 +108,19 @@ class Core:
     def set_duty_cycle(self, fraction: float) -> float:
         """Program the modulation register; returns the snapped value."""
         return self.modulation.program(fraction)
+
+    def record_speed_change(self, now: float) -> None:
+        """Close the time-at-speed interval at the current duty cycle.
+
+        Called by the kernel immediately *before* reprogramming the
+        modulation register mid-run, so that the per-duty wall-time
+        books (``sum(time_at_speed) + open interval == duration``)
+        stay exact across dynamic speed changes.
+        """
+        duty = self.modulation.duty_cycle
+        self.time_at_speed[duty] = \
+            self.time_at_speed.get(duty, 0.0) + (now - self.speed_since)
+        self.speed_since = now
 
     @property
     def is_fast(self) -> bool:

@@ -37,6 +37,15 @@ def snap_duty_cycle(fraction: float) -> float:
     return min(SUPPORTED_DUTY_CYCLES, key=lambda step: abs(step - fraction))
 
 
+def throttle_steps() -> tuple:
+    """The hardware steps a runtime throttle can select (duty < 100%).
+
+    Thermal/power management never "throttles" a core to full speed,
+    so the fault-injection storm generator draws from this subset.
+    """
+    return tuple(step for step in SUPPORTED_DUTY_CYCLES if step < 1.0)
+
+
 def duty_cycle_for_scale(scale: int) -> float:
     """Duty cycle that slows a core down by a factor of ``scale``.
 

@@ -109,6 +109,12 @@ class CoreMetrics:
     runqueue_samples: int
     runqueue_total: int
     runqueue_max: int
+    #: Wall seconds the core spent at each duty cycle (keys are the
+    #: duty fractions rendered with ``%g``, e.g. ``"0.25"``).  With no
+    #: dynamic reprogramming this holds a single entry equal to the
+    #: run duration; under fault injection the entries sum to the
+    #: duration — a conservation invariant in its own right.
+    time_at_speed: Dict[str, float] = field(default_factory=dict)
 
     @property
     def utilization(self) -> float:
@@ -137,6 +143,7 @@ class CoreMetrics:
             "runqueue_samples": self.runqueue_samples,
             "runqueue_total": self.runqueue_total,
             "runqueue_max": self.runqueue_max,
+            "time_at_speed": dict(self.time_at_speed),
         }
 
     @classmethod
@@ -231,6 +238,12 @@ class RunMetrics:
             if core.busy_seconds < 0 or core.idle_seconds < 0:
                 errors.append(
                     f"core {core.index}: negative time accounting")
+            if core.time_at_speed:
+                at_speed = sum(core.time_at_speed.values())
+                if abs(at_speed - duration) > slack:
+                    errors.append(
+                        f"core {core.index}: time-at-speed books total "
+                        f"{at_speed!r} != duration {duration!r}")
         class_cycles: Dict[str, float] = {}
         for per_class in self.thread_class_cycles.values():
             for speed_class, cycles in per_class.items():
@@ -341,6 +354,9 @@ class RunMetrics:
                 into.runqueue_total += core.runqueue_total
                 into.runqueue_max = max(into.runqueue_max,
                                         core.runqueue_max)
+                for duty, seconds in core.time_at_speed.items():
+                    into.time_at_speed[duty] = \
+                        into.time_at_speed.get(duty, 0.0) + seconds
             for speed_class, seconds in item.class_busy_seconds.items():
                 merged.class_busy_seconds[speed_class] = \
                     merged.class_busy_seconds.get(speed_class, 0.0) \
@@ -403,6 +419,14 @@ class MetricsCollector:
             class_of[index] = "fast" if core.rate == fastest else "slow"
             piece = slices.get(index)
             in_flight = (now - piece.start) if piece is not None else 0.0
+            # Time-at-speed books: closed intervals plus the open one
+            # at the current duty cycle, keyed by duty for JSON.
+            time_at_speed: Dict[str, float] = {
+                f"{duty:g}": seconds
+                for duty, seconds in core.time_at_speed.items()}
+            current = f"{core.duty_cycle:g}"
+            time_at_speed[current] = time_at_speed.get(current, 0.0) \
+                + (now - core.speed_since)
             cores.append(CoreMetrics(
                 index=index,
                 speed_class=class_of[index],
@@ -420,6 +444,7 @@ class MetricsCollector:
                 runqueue_samples=core.dispatches,
                 runqueue_total=core.rq_total,
                 runqueue_max=core.rq_max,
+                time_at_speed=time_at_speed,
             ))
 
         class_busy_seconds: Dict[str, float] = {}

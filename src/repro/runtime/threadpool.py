@@ -14,7 +14,7 @@ from typing import Callable, Deque, List, Optional
 
 from repro._system import System
 from repro.errors import WorkloadError
-from repro.kernel.instructions import Acquire, Compute, Release, Sleep
+from repro.kernel.instructions import Acquire, Compute, Sleep
 from repro.kernel.sync import Semaphore
 from repro.kernel.thread import SimThread
 

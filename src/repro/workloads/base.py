@@ -12,7 +12,9 @@ import abc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro import faults as _faults
 from repro._system import System
+from repro.faults import FaultSchedule
 from repro.kernel.scheduler import Scheduler
 from repro.metrics import RunMetrics
 
@@ -55,13 +57,40 @@ class Workload(abc.ABC):
     #: True when larger primary-metric values are better (throughput);
     #: False for runtimes.
     higher_is_better: bool = True
+    #: Fault schedule installed on every system this workload builds
+    #: (see :mod:`repro.faults`); None falls back to the process-wide
+    #: default set by the CLI's ``--faults`` flag.
+    faults: Optional[FaultSchedule] = None
+
+    def with_faults(self,
+                    schedule: Optional[FaultSchedule]) -> "Workload":
+        """Attach a fault schedule to this workload; returns self.
+
+        The schedule becomes part of the workload's identity: it is
+        pickled with the workload into worker processes and folded
+        into the result-cache fingerprint, so faulted and clean runs
+        never share cache entries and parallel sweeps stay
+        bit-identical to serial ones.
+        """
+        self.faults = schedule
+        return self
 
     def build_system(self, config: str, seed: int,
                      scheduler_factory: Optional[SchedulerFactory] = None,
                      ) -> System:
-        """Fresh simulated platform for one run."""
+        """Fresh simulated platform for one run.
+
+        Installs the workload's fault schedule (or the process-wide
+        default) on the new system before any thread is spawned, so
+        fault events interleave deterministically with the run.
+        """
         scheduler = scheduler_factory() if scheduler_factory else None
-        return System.build(config, seed=seed, scheduler=scheduler)
+        system = System.build(config, seed=seed, scheduler=scheduler)
+        schedule = self.faults if self.faults is not None \
+            else _faults.default_schedule()
+        if schedule is not None:
+            schedule.install(system)
+        return system
 
     @abc.abstractmethod
     def run_once(self, config: str, seed: int = 0,

@@ -25,10 +25,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
-from repro._system import System
 from repro.kernel.instructions import Acquire, Compute
 from repro.kernel.sync import Semaphore
-from repro.kernel.thread import SimThread
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
 

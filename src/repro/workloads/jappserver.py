@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro._system import System
 from repro.runtime.threadpool import Task, ThreadPool
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 

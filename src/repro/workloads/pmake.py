@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro._system import System
 from repro.kernel.instructions import Acquire, Compute, Release, Spawn
 from repro.kernel.sync import Semaphore
 from repro.kernel.thread import SimThread

@@ -1,15 +1,21 @@
 #!/usr/bin/env python
-"""Regenerate the golden fixtures in this directory.
+"""Regenerate (or verify) the golden fixtures in this directory.
 
-Run from the repository root (writes ``tests/golden/*.json``)::
+Run from the repository root::
 
-    python tests/golden/regenerate.py
+    python tests/golden/regenerate.py            # rewrite tests/golden/
+    python tests/golden/regenerate.py --check    # verify, change nothing
+    python tests/golden/regenerate.py --out DIR  # write elsewhere
 
-Only commit regenerated fixtures when a simulator change is *meant*
-to alter behaviour; the accompanying diff is the review artifact —
-an unexplained diff in a golden file is a regression, not an update.
+``--check`` rebuilds every fixture in memory and exits non-zero if any
+differs from the committed file — the CI drift gate runs this so a
+simulator change can never silently invalidate the fixtures.  Only
+commit regenerated fixtures when a change is *meant* to alter
+behaviour; the accompanying diff is the review artifact — an
+unexplained diff in a golden file is a regression, not an update.
 """
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -20,15 +26,59 @@ sys.path.insert(0, str(ROOT))
 from tests import harness  # noqa: E402
 
 
-def main() -> int:
+def regenerate(out_dir: Path) -> int:
+    out_dir.mkdir(parents=True, exist_ok=True)
     for name, build in harness.GOLDEN_RUNS.items():
-        path = harness.golden_path(name)
+        path = out_dir / f"{name}.json"
         text = harness.canonical_json(build())
         changed = (not path.exists()
                    or path.read_text(encoding="utf-8") != text)
         path.write_text(text, encoding="utf-8")
         print(f"{'updated' if changed else 'unchanged'}  {path}")
     return 0
+
+
+def check() -> int:
+    """Rebuild in memory and diff against the committed fixtures."""
+    drifted = []
+    for name, build in harness.GOLDEN_RUNS.items():
+        path = harness.golden_path(name)
+        fresh = harness.canonical_json(build())
+        if not path.exists():
+            print(f"MISSING    {path}")
+            drifted.append(name)
+        elif path.read_text(encoding="utf-8") != fresh:
+            print(f"DRIFTED    {path}")
+            drifted.append(name)
+        else:
+            print(f"unchanged  {path}")
+    if drifted:
+        print(f"\n{len(drifted)} golden fixture(s) out of date: "
+              f"{', '.join(sorted(drifted))}\n"
+              "If the behaviour change is intentional, run "
+              "`python tests/golden/regenerate.py` and commit the "
+              "diff; otherwise this is a regression.",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate or verify the golden fixtures")
+    parser.add_argument("--check", action="store_true",
+                        help="verify committed fixtures instead of "
+                             "rewriting them; exit 1 on drift")
+    parser.add_argument("--out", type=Path, default=None,
+                        metavar="DIR",
+                        help="write fixtures to DIR instead of "
+                             "tests/golden/")
+    args = parser.parse_args(argv)
+    if args.check:
+        if args.out is not None:
+            parser.error("--check and --out are mutually exclusive")
+        return check()
+    return regenerate(args.out or harness.GOLDEN_DIR)
 
 
 if __name__ == "__main__":

@@ -25,6 +25,13 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List
 
 from repro import System
+from repro.faults import (
+    CoreOfflineEvent,
+    CoreOnlineEvent,
+    FaultSchedule,
+    StallEvent,
+    ThrottleEvent,
+)
 from repro.kernel import AsymmetryAwareScheduler, Compute, SimThread
 from repro.metrics import (
     CONSERVATION_ATOL,
@@ -212,11 +219,59 @@ def _golden_sched_trace() -> Dict[str, Any]:
     }
 
 
+def golden_fault_schedule() -> FaultSchedule:
+    """The fixed fault sequence of the fault-injection golden run.
+
+    Exercises every event kind: a transient throttle that re-splits an
+    in-flight slice, a hot-unplug that migrates the victim's work, a
+    stall hitting a running thread, and the core coming back online.
+    """
+    return FaultSchedule([
+        ThrottleEvent(0.03, 0, 0.25, duration=0.06),
+        CoreOfflineEvent(0.05, 1),
+        StallEvent(0.08, 2, 0.02),
+        CoreOnlineEvent(0.12, 1),
+        ThrottleEvent(0.15, 3, 0.125),
+    ], seed=0, label="golden-fault-mix")
+
+
+def _golden_fault_storm() -> Dict[str, Any]:
+    """Compute threads under a fixed fault mix (dynamic asymmetry).
+
+    Locks the fault-injection machinery byte-exactly: mid-slice
+    re-splitting on throttle, offline migration, stall resume and the
+    time-at-speed books all feed the fixture.
+    """
+    system = System.build("2f-2s/8", seed=5)
+    system.sim.tracer.enable("faults")
+    injector = golden_fault_schedule().install(system)
+
+    def body(cycles):
+        yield Compute(cycles)
+
+    for index, cycles in enumerate([5e8, 3e8, 2e8, 1.2e8, 0.9e8]):
+        system.kernel.spawn(SimThread(f"t{index}", body(cycles)))
+    duration = system.run()
+    events = [record.as_dict()
+              for record in system.sim.tracer.records("faults")]
+    return {
+        "kind": "faults",
+        "config": "2f-2s/8",
+        "seed": 5,
+        "duration": duration,
+        "applied": injector.applied,
+        "schedule": injector.schedule.as_dict(),
+        "events": events,
+        "run_metrics": system.run_metrics().as_dict(),
+    }
+
+
 #: name -> zero-argument callable producing the canonical payload.
 GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "specjbb_2f-2s_stock_seed42": _golden_specjbb,
     "tpch_q3_1f-3s_asym_seed7": _golden_tpch,
     "sched_trace_1f-3s_asym_seed11": _golden_sched_trace,
+    "fault_storm_2f-2s_seed5": _golden_fault_storm,
 }
 
 

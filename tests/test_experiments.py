@@ -5,7 +5,6 @@ import pytest
 from repro.experiments import (
     ALL_EXHIBITS,
     QUICK,
-    ConfigSweep,
     Runner,
     format_series,
     format_speedups,
@@ -101,10 +100,10 @@ class TestReport:
 
 
 class TestExhibitRegistry:
-    def test_all_eleven_exhibits_present(self):
+    def test_all_twelve_exhibits_present(self):
         expected = {"fig01", "fig02", "fig03", "fig04", "fig05",
                     "fig06", "fig07", "fig08", "fig09", "fig10",
-                    "table1"}
+                    "fig11", "table1"}
         assert set(ALL_EXHIBITS) == expected
 
     def test_every_exhibit_has_run_and_render(self):

@@ -1,0 +1,121 @@
+"""Property-based tests: arbitrary fault schedules keep the books.
+
+Hypothesis generates random fault schedules (throttles transient and
+permanent, hot-unplug/replug, stalls) and fires them at small compute
+runs across all nine machine configurations and both scheduler
+families.  Whatever the storm, the conservation invariants of
+:mod:`repro.metrics` must hold, every thread must finish with its
+cycles intact, and a replay must be byte-identical.
+
+Core 0 is never taken offline, so the generated schedules always pass
+:meth:`FaultSchedule.validate` (at least one core stays online).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import System
+from repro.faults import (
+    CoreOfflineEvent,
+    CoreOnlineEvent,
+    FaultSchedule,
+    StallEvent,
+    ThrottleEvent,
+)
+from repro.kernel import (
+    AsymmetryAwareScheduler,
+    Compute,
+    SimThread,
+    SymmetricScheduler,
+    ThreadState,
+)
+from repro.machine import STANDARD_CONFIG_LABELS
+from repro.machine.duty_cycle import throttle_steps
+
+from tests.harness import assert_conservation
+
+CONFIGS = st.sampled_from(list(STANDARD_CONFIG_LABELS))
+SCHEDULERS = st.sampled_from([SymmetricScheduler,
+                              AsymmetryAwareScheduler])
+
+TIMES = st.floats(min_value=1e-4, max_value=0.3)
+WINDOWS = st.floats(min_value=1e-3, max_value=0.05)
+ANY_CORE = st.integers(0, 3)
+#: Offline/online events spare core 0 so the machine never strands.
+PLUGGABLE_CORE = st.integers(1, 3)
+
+EVENTS = st.one_of(
+    st.builds(ThrottleEvent, time=TIMES, core=ANY_CORE,
+              duty_cycle=st.sampled_from(throttle_steps()),
+              duration=st.one_of(st.none(), WINDOWS)),
+    st.builds(CoreOfflineEvent, time=TIMES, core=PLUGGABLE_CORE),
+    st.builds(CoreOnlineEvent, time=TIMES, core=PLUGGABLE_CORE),
+    st.builds(StallEvent, time=TIMES, core=ANY_CORE,
+              duration=WINDOWS),
+)
+
+SCHEDULES = st.lists(EVENTS, max_size=8).map(FaultSchedule)
+
+# Enough work that faults land mid-run, small enough to stay fast.
+CYCLES = st.floats(min_value=0, max_value=5e8)
+
+
+def _run_under_storm(config, scheduler, seed, schedule, workloads):
+    system = System.build(config, seed=seed, scheduler=scheduler())
+
+    def body(cycles):
+        yield Compute(cycles)
+
+    threads = []
+    for index, cycles in enumerate(workloads):
+        thread = SimThread(f"t{index}", body(cycles))
+        threads.append(thread)
+        system.kernel.spawn(thread)
+    injector = schedule.install(system)
+    system.run()
+    return system, injector, threads
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=CONFIGS, scheduler=SCHEDULERS,
+       seed=st.integers(0, 2**16), schedule=SCHEDULES,
+       workloads=st.lists(CYCLES, min_size=1, max_size=5))
+def test_any_storm_preserves_conservation(config, scheduler, seed,
+                                          schedule, workloads):
+    """Faults never lose or double-count a cycle or a second."""
+    system, injector, threads = _run_under_storm(
+        config, scheduler, seed, schedule, workloads)
+    assert_conservation(system.run_metrics())
+    # The run stops when the last thread terminates; faults scheduled
+    # after that instant never fire, every earlier one must have.
+    end = system.sim.now
+    before = sum(1 for event in schedule if event.time < end)
+    by_end = sum(1 for event in schedule if event.time <= end)
+    assert before <= injector.applied <= by_end
+    for thread, expected in zip(threads, workloads):
+        assert thread.state is ThreadState.TERMINATED
+        assert thread.cycles_retired == pytest.approx(expected,
+                                                      abs=2.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(config=CONFIGS, scheduler=SCHEDULERS,
+       seed=st.integers(0, 2**16), schedule=SCHEDULES,
+       workloads=st.lists(CYCLES, min_size=1, max_size=3))
+def test_any_storm_replays_byte_identically(config, scheduler, seed,
+                                            schedule, workloads):
+    """Identical schedule + seed gives byte-identical RunMetrics."""
+    first, _, _ = _run_under_storm(config, scheduler, seed, schedule,
+                                   workloads)
+    second, _, _ = _run_under_storm(config, scheduler, seed, schedule,
+                                    workloads)
+    assert first.run_metrics().to_json() == \
+        second.run_metrics().to_json()
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=SCHEDULES)
+def test_any_schedule_survives_json_round_trip(schedule):
+    """Serialization is lossless and byte-stable for any schedule."""
+    text = schedule.to_json()
+    assert FaultSchedule.from_json(text).to_json() == text

@@ -153,8 +153,8 @@ class TestMachineConfig:
 
     def test_power_decreases_left_to_right(self):
         # Figure 10's x-axis ordering: total power decreases.
-        powers = [MachineConfig.parse(l).total_compute_power
-                  for l in STANDARD_CONFIG_LABELS]
+        powers = [MachineConfig.parse(label).total_compute_power
+                  for label in STANDARD_CONFIG_LABELS]
         assert powers == sorted(powers, reverse=True)
 
 
