@@ -49,6 +49,15 @@ from pathlib import Path
 #: behavioural drift regardless of timer noise.
 DEFAULT_TOLERANCE = 0.15
 
+#: The span layer's budget when no trace category is enabled: <1% on
+#: the dispatch path (the disabled cost is one set-membership check
+#: per trace point).  Checked as a dispatch-ratio floor against the
+#: committed pin, with the same ~10% host-noise margin the main
+#: tolerance documents — tighter than DEFAULT_TOLERANCE, so this is
+#: the binding constraint for tracing-related slowdowns.
+TRACING_DISABLED_BUDGET = 0.01
+NOISE_MARGIN = 0.10
+
 DEFAULT_FRESH = (Path(__file__).resolve().parent
                  / "results" / "BENCH_engine.json")
 
@@ -76,6 +85,16 @@ def check(baseline: dict, fresh: dict,
             f"kernel dispatch path is {drop:.1f}% relatively slower "
             f"than baseline (ratio {fresh_ratio:.4f} < {floor:.4f})")
 
+    strict_floor = base_ratio * (1.0 - TRACING_DISABLED_BUDGET
+                                 - NOISE_MARGIN)
+    print(f"tracing-disabled budget: ratio floor {strict_floor:.4f} "
+          f"(1% budget + {NOISE_MARGIN:.0%} noise margin)")
+    if fresh_ratio < strict_floor:
+        failures.append(
+            f"disabled-tracing overhead exceeds the 1% budget: "
+            f"dispatch ratio {fresh_ratio:.4f} < {strict_floor:.4f} "
+            f"(pin {base_ratio:.4f} minus budget and noise margin)")
+
     for name in ("event_queue", "kernel_timeslicing"):
         base_events = baseline[name]["events"]
         fresh_events = fresh[name]["events"]
@@ -83,6 +102,19 @@ def check(baseline: dict, fresh: dict,
             failures.append(
                 f"{name} fired {fresh_events} events vs baseline "
                 f"{base_events} — simulation behaviour changed")
+
+    traced = fresh.get("kernel_timeslicing_traced")
+    if traced is not None:
+        untraced = fresh["kernel_timeslicing"]
+        if traced["events"] != untraced["events"]:
+            failures.append(
+                f"enabling tracing changed the event count: "
+                f"{traced['events']} traced vs {untraced['events']} — "
+                "instrumentation must not schedule events")
+        enabled_cost = (traced["best_seconds"]
+                        / untraced["best_seconds"])
+        print(f"enabled-tracing cost: {enabled_cost:.2f}x the "
+              "untraced dispatch benchmark")
 
     base_speedup = baseline["event_queue"].get("speedup_vs_seed")
     fresh_speedup = fresh["event_queue"].get("speedup_vs_seed")

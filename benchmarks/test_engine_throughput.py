@@ -134,6 +134,39 @@ def _spin(cycles):
     yield Compute(cycles)
 
 
+def test_kernel_timeslicing_traced_throughput(benchmark):
+    """The same dispatch benchmark with every trace category enabled.
+
+    Pins two properties of the span layer: tracing schedules **no**
+    events (the count matches the untraced benchmark exactly — checked
+    here and again by ``check_engine_regression.py``), and the
+    enabled-tracing cost is measured so the overhead table in
+    DESIGN.md §8 stays honest.
+    """
+    from repro.sim.trace import DEFAULT_TRACE_CATEGORIES
+
+    def run():
+        system = System.build("2f-2s/8", seed=1)
+        system.sim.tracer.enable(*DEFAULT_TRACE_CATEGORIES)
+        for i in range(8):
+            system.kernel.spawn(SimThread(f"t{i}", _spin(2.8e9)))
+        system.run()
+        return system.sim.events_fired
+
+    fired = benchmark(run)
+    untraced = _MEASUREMENTS.get("kernel_timeslicing")
+    if untraced is not None:
+        assert fired == untraced["events"], \
+            "enabling tracing changed the event count"
+    best = _best_seconds(run, repeats=5)
+    _MEASUREMENTS["kernel_timeslicing_traced"] = {
+        "events": fired,
+        "best_seconds": best,
+        "events_per_sec": fired / best,
+        "categories": sorted(DEFAULT_TRACE_CATEGORIES),
+    }
+
+
 def test_synchronization_throughput(benchmark):
     """Lock/unlock round trips through the kernel."""
     from repro.kernel import Lock, Mutex, Unlock

@@ -8,9 +8,12 @@ Usage::
     python -m repro fig08 --profile paper # full protocol
     python -m repro all --jobs 4          # fan runs out over 4 workers
     python -m repro validate              # machine self-check
+    python -m repro fig01 --trace-out t.json   # Perfetto timeline
 
 ``--jobs N`` parallelizes the independent simulation runs over N
 worker processes; results are bit-identical to a serial run.
+``--trace-out`` exports a Chrome trace-event timeline of every run;
+open it in https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ import sys
 
 from repro import faults as _faults
 from repro import metrics as _metrics
+from repro.sim import trace as _trace
+from repro.sim import trace_export as _trace_export
 from repro.experiments.figures import ALL_EXHIBITS
 from repro.experiments.profiles import get_profile
 from repro.machine import (
@@ -52,7 +57,9 @@ def _cmd_validate() -> int:
 def _cmd_exhibit(name: str, profile_name: str,
                  jobs: int = 0,
                  metrics_out: str = None,
-                 faults_path: str = None) -> int:
+                 faults_path: str = None,
+                 trace_out: str = None,
+                 trace_spec: str = None) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -64,6 +71,15 @@ def _cmd_exhibit(name: str, profile_name: str,
     sink = _metrics.MetricsSink() if metrics_out else None
     if sink is not None:
         _metrics.install_sink(sink)
+    trace_sink = None
+    if trace_out is not None:
+        categories = (_trace.parse_categories(trace_spec)
+                      if trace_spec is not None
+                      else frozenset(_trace.DEFAULT_TRACE_CATEGORIES))
+        _trace.install_default_categories(categories)
+        trace_sink = _trace_export.install_sink(
+            _trace_export.TraceSink())
+        print(f"tracing categories: {', '.join(sorted(categories))}")
     if faults_path is not None:
         schedule = _faults.FaultSchedule.load(faults_path)
         _faults.install_default_schedule(schedule)
@@ -80,6 +96,9 @@ def _cmd_exhibit(name: str, profile_name: str,
     finally:
         if sink is not None:
             _metrics.remove_sink()
+        if trace_sink is not None:
+            _trace_export.remove_sink()
+            _trace.clear_default_categories()
         if faults_path is not None:
             _faults.clear_default_schedule()
     if sink is not None:
@@ -89,6 +108,12 @@ def _cmd_exhibit(name: str, profile_name: str,
             handle.write("\n")
         print(f"wrote {len(sink.records)} run metrics "
               f"records to {metrics_out}")
+    if trace_sink is not None:
+        count = _trace_export.write_chrome_trace(
+            trace_out, trace_sink.records)
+        print(f"wrote {count} trace events for "
+              f"{len(trace_sink.records)} runs to {trace_out} "
+              "(load in https://ui.perfetto.dev)")
     return 0
 
 
@@ -116,14 +141,27 @@ def main(argv=None) -> int:
                         help="inject the fault schedule (throttle/"
                              "offline/stall events; see repro.faults) "
                              "into every run of the exhibit")
+    parser.add_argument("--trace-out", metavar="TRACE.json",
+                        default=None,
+                        help="export a Chrome trace-event / Perfetto "
+                             "timeline of every run the exhibit "
+                             "executes to TRACE.json")
+    parser.add_argument("--trace", metavar="CATEGORIES", default=None,
+                        help="comma-separated trace categories for "
+                             "--trace-out (default: "
+                             f"{','.join(_trace.DEFAULT_TRACE_CATEGORIES)})")
     args = parser.parse_args(argv)
+    if args.trace is not None and args.trace_out is None:
+        parser.error("--trace requires --trace-out")
     if args.exhibit == "list":
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
     return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
                         metrics_out=args.metrics_out,
-                        faults_path=args.faults)
+                        faults_path=args.faults,
+                        trace_out=args.trace_out,
+                        trace_spec=args.trace)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.profiles import PAPER, QUICK, Profile, get_profile
 from repro.experiments.report import (
+    format_histogram,
     format_metrics,
+    format_seconds,
     format_series,
     format_speedups,
     format_sweep,
@@ -35,5 +37,7 @@ __all__ = [
     "format_speedups",
     "format_series",
     "format_metrics",
+    "format_histogram",
+    "format_seconds",
     "ALL_EXHIBITS",
 ]

@@ -32,6 +32,8 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro import faults as _faults
 from repro import metrics as _metrics
+from repro.sim import trace as _trace
+from repro.sim import trace_export as _trace_export
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 
 
@@ -50,6 +52,18 @@ def execute_task(task: RunTask) -> RunResult:
     return task.workload.run_once(
         task.config, seed=task.seed,
         scheduler_factory=task.scheduler_factory)
+
+
+def _worker_init(faults_payload, trace_categories) -> None:
+    """Replicate process-wide defaults into a pool worker.
+
+    Workers must see the same default fault schedule *and* the same
+    default trace categories as the submitting process, or a
+    ``--faults`` / ``--trace`` sweep would diverge between serial and
+    parallel execution.
+    """
+    _faults.install_default_payload(faults_payload)
+    _trace.install_default_categories(trace_categories)
 
 
 def _stable_repr(value: object, _seen: Optional[set] = None) -> str:
@@ -110,6 +124,11 @@ def task_fingerprint(task: RunTask) -> str:
         default = _faults.default_schedule()
         if default is not None:
             parts.append(f"faults={default.to_json()}")
+    # The default trace categories decide whether a RunResult carries a
+    # timeline, so traced and untraced runs never share cache entries.
+    categories = _trace.default_categories()
+    if categories:
+        parts.append("trace=" + ",".join(sorted(categories)))
     parts.append(f"config={task.config}")
     parts.append(f"seed={task.seed}")
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))
@@ -176,6 +195,9 @@ class SerialBackend:
         sink = _metrics.active_sink()
         if sink is not None:
             sink.extend(results)
+        trace_sink = _trace_export.active_sink()
+        if trace_sink is not None:
+            trace_sink.extend(results)
         return results
 
 
@@ -224,13 +246,11 @@ class ProcessPoolBackend:
         if pending:
             chunk = self.chunk_size or max(
                 1, len(pending) // (self.jobs * 4))
-            # Worker processes must see the same process-wide default
-            # fault schedule as this process, or a --faults sweep would
-            # diverge between serial and parallel execution.
             with ProcessPoolExecutor(
                     max_workers=self.jobs,
-                    initializer=_faults.install_default_payload,
-                    initargs=(_faults.default_schedule_payload(),),
+                    initializer=_worker_init,
+                    initargs=(_faults.default_schedule_payload(),
+                              _trace.default_categories()),
             ) as pool:
                 fresh = pool.map(execute_task,
                                  [tasks[i] for i in pending],
@@ -244,6 +264,9 @@ class ProcessPoolBackend:
         sink = _metrics.active_sink()
         if sink is not None:
             sink.extend(results)
+        trace_sink = _trace_export.active_sink()
+        if trace_sink is not None:
+            trace_sink.extend(results)
         return results  # type: ignore[return-value]
 
 

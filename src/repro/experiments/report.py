@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ConfigSweep
+from repro.histogram import LatencyHistogram, bucket_bounds
 from repro.metrics import RunMetrics
 
 
@@ -59,13 +60,58 @@ def format_speedups(sweeps: Dict[str, ConfigSweep],
     return format_table(headers, rows)
 
 
+def format_seconds(value: float) -> str:
+    """A duration with a readable SI unit (``1.2ms``, ``340us``)."""
+    if value == 0.0:
+        return "0s"
+    for factor, suffix in ((1.0, "s"), (1e-3, "ms"),
+                           (1e-6, "us"), (1e-9, "ns")):
+        if value >= factor:
+            return f"{value / factor:.3g}{suffix}"
+    return f"{value:.3g}s"
+
+
+def format_histogram(name: str, histogram: LatencyHistogram,
+                     width: int = 40) -> str:
+    """ASCII bar chart of a log2-bucketed latency histogram.
+
+    One row per occupied bucket (the ``[low, high)`` value range and a
+    bar scaled to the fullest bucket), preceded by a summary line with
+    count, mean and the p50/p95/p99 bucket bounds.
+    """
+    summary = (f"{name}: {histogram.count} samples"
+               f", mean {format_seconds(histogram.mean)}"
+               f", p50 {format_seconds(histogram.quantile(0.5))}"
+               f", p95 {format_seconds(histogram.quantile(0.95))}"
+               f", p99 {format_seconds(histogram.quantile(0.99))}")
+    items = histogram.nonzero_items()
+    if histogram.count == 0:
+        return f"{name}: (empty)"
+    rows = []
+    if histogram.zeros:
+        rows.append(("= 0", histogram.zeros))
+    for exponent, count in items:
+        low, high = bucket_bounds(exponent)
+        rows.append(
+            (f"[{format_seconds(low)}, {format_seconds(high)})", count))
+    peak = max(count for _, count in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = [summary]
+    for label, count in rows:
+        bar = "#" * max(1, round(count / peak * width))
+        lines.append(f"  {label.ljust(label_width)} "
+                     f"{str(count).rjust(8)} {bar}")
+    return "\n".join(lines)
+
+
 def format_metrics(metrics: RunMetrics,
                    counters: bool = True) -> str:
     """Render a :class:`RunMetrics` the way the sweeps are rendered.
 
     One row per core (busy/idle/utilization/dispatches/migrations),
     then kernel-wide totals, then — unless ``counters`` is false — the
-    workload counter bag sorted by name.
+    workload counter bag sorted by name and the non-empty latency
+    histograms as ASCII bar charts.
     """
     rows: List[List[str]] = []
     for core in metrics.cores:
@@ -97,6 +143,10 @@ def format_metrics(metrics: RunMetrics,
         counter_rows = [[name, f"{value:g}"]
                         for name, value in sorted(metrics.counters.items())]
         lines.append(format_table(["counter", "value"], counter_rows))
+    if counters:
+        for name, histogram in sorted(metrics.histograms.items()):
+            if histogram.count:
+                lines.append(format_histogram(name, histogram))
     return "\n".join(lines)
 
 

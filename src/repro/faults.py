@@ -344,6 +344,10 @@ class FaultInjector:
         self.schedule = schedule
         #: Fault events applied so far (recoveries not included).
         self.applied = 0
+        #: Open ``"faults"`` offline-window spans keyed by core index,
+        #: ended by the matching online event (an offline window never
+        #: closed by run end is simply not retained).
+        self._offline_spans: Dict[int, Any] = {}
 
     def install(self) -> None:
         self.schedule.validate(len(self.system.machine.cores))
@@ -355,6 +359,20 @@ class FaultInjector:
         tracer = self.system.sim.tracer
         if "faults" in tracer.active:
             tracer.record(self.system.sim.now, "faults", **payload)
+
+    def _span(self, name: str, core_index: int, **details: Any):
+        """Open a ``"faults"`` window span (None when disabled).
+
+        Fault windows — throttle-until-recovery, offline-until-online,
+        stall-for-duration — render as shaded intervals on the core's
+        timeline track, alongside the point records ``_trace`` keeps
+        for tests.
+        """
+        tracer = self.system.sim.tracer
+        if "faults" not in tracer.active:
+            return None
+        return tracer.span(self.system.sim.now, "faults", name,
+                           core=core_index, **details)
 
     def _apply(self, event: FaultEvent) -> None:
         kernel = self.system.kernel
@@ -368,16 +386,26 @@ class FaultInjector:
             self._trace(event="throttle", core=core.index,
                         duty_cycle=snapped)
             if event.duration is not None:
+                # The recovery event already exists; thread the window
+                # span through its args so closing it costs no extra
+                # event (determinism: event counts must not change).
+                span = self._span("throttle", core.index,
+                                  duty_cycle=snapped)
                 self.system.sim.schedule_fast(
-                    event.duration, self._recover, core, previous)
+                    event.duration, self._recover, core, previous, span)
         elif isinstance(event, CoreOfflineEvent):
             kernel.set_core_offline(core)
             counters.incr("faults.offline")
             self._trace(event="offline", core=core.index)
+            self._offline_spans[core.index] = \
+                self._span("offline", core.index)
         elif isinstance(event, CoreOnlineEvent):
             kernel.set_core_online(core)
             counters.incr("faults.online")
             self._trace(event="online", core=core.index)
+            span = self._offline_spans.pop(core.index, None)
+            if span is not None:
+                span.end(self.system.sim.now)
         elif isinstance(event, StallEvent):
             stalled = kernel.stall_current(core, event.duration)
             if stalled:
@@ -386,16 +414,24 @@ class FaultInjector:
                 counters.incr("faults.stall_skipped")
             self._trace(event="stall", core=core.index,
                         applied=stalled)
+            if stalled:
+                # The window end is known now; close the span at its
+                # future end time rather than scheduling a new event.
+                span = self._span("stall", core.index)
+                if span is not None:
+                    span.end(self.system.sim.now + event.duration)
         else:  # pragma: no cover - event_from_dict forbids this
             raise ConfigurationError(f"unknown fault event {event!r}")
 
-    def _recover(self, core, duty_cycle: float) -> None:
+    def _recover(self, core, duty_cycle: float, span=None) -> None:
         """Restore a core's pre-throttle duty cycle."""
         kernel = self.system.kernel
         snapped = kernel.reprogram_core(core, duty_cycle)
         kernel.metrics.counters.incr("faults.recovery")
         self._trace(event="recover", core=core.index,
                     duty_cycle=snapped)
+        if span is not None:
+            span.end(self.system.sim.now)
 
 
 # ----------------------------------------------------------------------

@@ -82,6 +82,7 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
                 thread = queue[position]
                 if thread.allowed_on(core.index):
                     del queue[position]
+                    self._trace_steal(thread, victim, core)
                     return thread
         return None
 

@@ -21,9 +21,12 @@ and the event order deterministic.
 from __future__ import annotations
 
 from collections import deque
+from math import frexp as _frexp
 from typing import Any, Deque, Dict, Generator, List, Optional
 
 from repro.errors import DeadlockError, SchedulingError, SimulationError
+from repro.histogram import BUCKET_OFFSET as _HIST_OFFSET
+from repro.histogram import bucket_array
 from repro.kernel import instructions as ins
 from repro.kernel.scheduler import Scheduler, SymmetricScheduler
 from repro.kernel.thread import SimThread, ThreadState
@@ -56,14 +59,16 @@ _Unlock = ins.Unlock
 class _Slice:
     """Bookkeeping for a compute slice in progress on a core."""
 
-    __slots__ = ("thread", "start", "rate", "event")
+    __slots__ = ("thread", "start", "rate", "event", "span")
 
     def __init__(self, thread: SimThread, start: float, rate: float,
-                 event) -> None:
+                 event, span=None) -> None:
         self.thread = thread
         self.start = start
         self.rate = rate
         self.event = event
+        #: Open ``"exec"`` timeline span, or None when tracing is off.
+        self.span = span
 
 
 class Kernel:
@@ -79,6 +84,11 @@ class Kernel:
         self.scheduler.attach(self)
         #: Random stream used by the scheduler for tie-breaking.
         self.rng = sim.stream(rng_stream)
+        # Hot-path aliases: the tracer object and its (in-place
+        # mutated) active-category set never get reassigned, so the
+        # dispatch loop can skip the sim.tracer attribute chain.
+        self._tracer = sim.tracer
+        self._tracer_active = sim.tracer.active
 
         self._runqueues: Dict[int, Deque[SimThread]] = {
             core.index: deque() for core in machine.cores}
@@ -99,6 +109,33 @@ class Kernel:
         #: Hot paths update its per-core lists inline; snapshot with
         #: :meth:`run_metrics`.
         self.metrics = MetricsCollector(machine)
+
+        # Always-on streaming latency histograms (see repro.histogram).
+        # The hot paths maintain flat bucket arrays inline — a list
+        # increment, no method call — with a one-entry (value, index)
+        # memo in front of math.frexp: slice lengths are overwhelmingly
+        # the exact scheduler quantum, so the memo hits almost always.
+        # MetricsCollector.snapshot wraps the arrays into
+        # LatencyHistogram objects on RunMetrics.histograms.
+        #: Ready-to-dispatch wait per dispatch ("sched_latency_seconds").
+        #: Zero waits (the common idle-dispatch case) are not counted
+        #: inline: zeros == context_switches - sum of buckets.
+        self._hb_latency: List[int] = bucket_array()
+        self._lat_total = 0.0
+        self._lat_memo_val = -1.0
+        self._lat_memo_key = 0
+        #: Retired compute slice lengths ("slice_seconds").  The value
+        #: sum is not accumulated inline: it equals the cores' total
+        #: busy time, which slice retirement already accounts.
+        self._hb_slice: List[int] = bucket_array()
+        self._slice_zeros = 0
+        self._slice_memo_val = -1.0
+        self._slice_memo_key = 0
+        #: Off-CPU gap a thread crosses when it migrates
+        #: ("migration_gap_seconds").
+        self._hb_migration: List[int] = bucket_array()
+        self._mig_zeros = 0
+        self._mig_total = 0.0
 
     # ------------------------------------------------------------------
     # Public API
@@ -215,6 +252,12 @@ class Kernel:
         thread.state = ThreadState.READY
         thread.block_reason = None
         thread.quantum_used = 0.0  # fresh timeslice after a wait
+        now = self.sim._now
+        thread.ready_at = now
+        span = thread.block_span
+        if span is not None:
+            thread.block_span = None
+            span.end(now)
         core = self.scheduler.place(thread)
         if not thread.allowed_on(core.index):
             raise SchedulingError(
@@ -249,11 +292,33 @@ class Kernel:
             raise SchedulingError(
                 f"dispatching {thread.name!r} in state {thread.state}")
         index = core.index
+        now = self.sim._now
         if thread.last_core is not None and thread.last_core != index:
             thread.migrations += 1
             self.migrations += 1
             core.migrations_in += 1
+            # Migration-gap histogram: off-CPU time the thread crosses
+            # when it changes cores (inline; see repro.histogram).
+            last_ran = thread.last_ran_at
+            if last_ran is not None:
+                gap = now - last_ran
+                if gap > 0.0:
+                    self._hb_migration[_frexp(gap)[1]
+                                       + _HIST_OFFSET] += 1
+                    self._mig_total += gap
+                else:
+                    self._mig_zeros += 1
         thread.last_core = index
+        # Scheduling-latency histogram: ready-to-dispatch wait.  Most
+        # dispatches fire from a zero-delay event, so the zero fast
+        # path matters.
+        wait = now - thread.ready_at
+        if wait > 0.0:
+            if wait != self._lat_memo_val:
+                self._lat_memo_val = wait
+                self._lat_memo_key = _frexp(wait)[1] + _HIST_OFFSET
+            self._hb_latency[self._lat_memo_key] += 1
+            self._lat_total += wait
         thread.state = ThreadState.RUNNING
         core.current_thread = thread
         self.context_switches += 1
@@ -265,10 +330,9 @@ class Kernel:
             core.rq_total += queued
             if queued > core.rq_max:
                 core.rq_max = queued
-        tracer = self.sim.tracer
-        if "sched" in tracer.active:
-            tracer.record(self.sim.now, "sched", event="run",
-                          thread=thread.name, core=core.index)
+        if "sched" in self._tracer_active:
+            self._tracer.record(now, "sched", event="run",
+                                thread=thread.name, core=core.index)
         self._process(thread, core)
 
     # ------------------------------------------------------------------
@@ -339,7 +403,11 @@ class Kernel:
         # when slices abut); idle is accumulated independently of busy
         # so their sum being the run duration is a real invariant.
         core.idle_seconds += now - core.idle_since
-        self._slices[core.index] = _Slice(thread, now, core.rate, event)
+        span = self._tracer.span(now, "exec", thread.name,
+                                 core=core.index, thread=thread.name) \
+            if "exec" in self._tracer_active else None
+        self._slices[core.index] = _Slice(thread, now, core.rate, event,
+                                          span)
 
     def _requeue(self, thread: SimThread, core: Core) -> None:
         """Put the running thread at the back of its core's queue."""
@@ -347,12 +415,12 @@ class Kernel:
         core.preemptions += 1
         thread.quantum_used = 0.0
         thread.state = ThreadState.READY
+        thread.ready_at = self.sim._now
         core.current_thread = None
         self._runqueues[core.index].append(thread)
-        tracer = self.sim.tracer
-        if "sched" in tracer.active:
-            tracer.record(self.sim.now, "sched", event="preempt",
-                          thread=thread.name, core=core.index)
+        if "sched" in self._tracer_active:
+            self._tracer.record(self.sim.now, "sched", event="preempt",
+                                thread=thread.name, core=core.index)
         self._request_dispatch(core)
 
     def _retire_slice(self, core: Core) -> SimThread:
@@ -369,6 +437,16 @@ class Kernel:
         core.busy_time += elapsed
         core.busy_cycles += cycles
         core.idle_since = now
+        if piece.span is not None:
+            piece.span.end(now)
+        # Slice-duration histogram (inline; see repro.histogram).
+        if elapsed > 0.0:
+            if elapsed != self._slice_memo_val:
+                self._slice_memo_val = elapsed
+                self._slice_memo_key = _frexp(elapsed)[1] + _HIST_OFFSET
+            self._hb_slice[self._slice_memo_key] += 1
+        else:
+            self._slice_zeros += 1
         return thread
 
     def _on_slice_end(self, core: Core) -> None:
@@ -406,6 +484,7 @@ class Kernel:
         thread.preemptions += 1
         core.preemptions += 1
         thread.state = ThreadState.READY
+        thread.ready_at = self.sim.now
         core.current_thread = None
         self.preempt_pulls += 1
         tracer = self.sim.tracer
@@ -538,6 +617,9 @@ class Kernel:
         if "sched" in tracer.active:
             tracer.record(self.sim.now, "sched", event="block",
                           thread=thread.name, reason=reason)
+        if "block" in tracer.active:
+            thread.block_span = tracer.span(
+                self.sim.now, "block", reason, thread=thread.name)
 
     def _wake_blocked(self, thread: SimThread, result: Any = None) -> None:
         """Complete a blocked thread's instruction and make it ready."""
@@ -561,6 +643,10 @@ class Kernel:
         if isinstance(instruction, _Sleep):
             thread.state = ThreadState.SLEEPING
             thread.block_reason = "sleep"
+            tracer = self.sim.tracer
+            if "block" in tracer.active:
+                thread.block_span = tracer.span(
+                    self.sim.now, "block", "sleep", thread=thread.name)
             self.sim.schedule_fast(instruction.seconds,
                                    self._wake_sleeper, thread)
             return True
@@ -591,7 +677,7 @@ class Kernel:
                 self._complete_instruction(thread, None)
                 return False
             semaphore.waiters.append(thread)
-            self._block(thread, f"acquire {semaphore.name}")
+            self._block(thread, semaphore.wait_label)
             return True
 
         if isinstance(instruction, ins.Release):
@@ -622,6 +708,7 @@ class Kernel:
         if isinstance(instruction, ins.YieldCPU):
             self._complete_instruction(thread, None)
             thread.state = ThreadState.READY
+            thread.ready_at = self.sim._now
             self._runqueues[core.index].append(thread)
             return True
 
@@ -658,7 +745,7 @@ class Kernel:
                 f"{mutex.name}")
         mutex.waiters.append(thread)
         mutex.contention_count += 1
-        self._block(thread, f"lock {mutex.name}")
+        self._block(thread, mutex.wait_label)
         return True
 
     def _do_unlock(self, thread: SimThread, mutex) -> None:
@@ -684,14 +771,14 @@ class Kernel:
             self._complete_instruction(thread, barrier.generation)
             return False
         barrier.waiting.append(thread)
-        self._block(thread, f"barrier {barrier.name}")
+        self._block(thread, barrier.wait_label)
         return True
 
     def _do_cond_wait(self, thread: SimThread, instruction) -> bool:
         mutex = instruction.mutex
         self._do_unlock(thread, mutex)
         instruction.condvar.waiters.append(thread)
-        self._block(thread, f"wait {instruction.condvar.name}")
+        self._block(thread, instruction.condvar.wait_label)
         return True
 
     def _do_notify(self, instruction) -> None:

@@ -198,5 +198,15 @@ class SymmetricScheduler(Scheduler):
                         < self.cache_hot_seconds):
                     continue
                 del queue[position]
+                self._trace_steal(thread, victim, core)
                 return thread
         return None
+
+    def _trace_steal(self, thread: "SimThread", victim: Core,
+                     core: Core) -> None:
+        """Trace point for an idle-steal migration decision."""
+        tracer = self.kernel.sim.tracer
+        if "sched" in tracer.active:
+            tracer.record(self.kernel.now, "sched", event="steal",
+                          thread=thread.name, src=victim.index,
+                          core=core.index)

@@ -34,6 +34,11 @@ class Mutex:
     def locked(self) -> bool:
         return self.owner is not None
 
+    @property
+    def wait_label(self) -> str:
+        """Block reason / timeline span name for waiters."""
+        return f"lock {self.name}"
+
     def __repr__(self) -> str:  # pragma: no cover
         owner = self.owner.name if self.owner else None
         return f"Mutex({self.name!r}, owner={owner}, waiters={len(self.waiters)})"
@@ -64,6 +69,11 @@ class Barrier:
     def n_waiting(self) -> int:
         return len(self.waiting)
 
+    @property
+    def wait_label(self) -> str:
+        """Block reason / timeline span name for waiters."""
+        return f"barrier {self.name}"
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Barrier({self.name!r}, {self.n_waiting}/"
                 f"{self.parties} waiting, gen={self.generation})")
@@ -78,6 +88,11 @@ class CondVar:
         self.name = name or f"cond-{CondVar._next_id}"
         CondVar._next_id += 1
         self.waiters: Deque["SimThread"] = deque()
+
+    @property
+    def wait_label(self) -> str:
+        """Block reason / timeline span name for waiters."""
+        return f"wait {self.name}"
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"CondVar({self.name!r}, waiters={len(self.waiters)})"
@@ -96,6 +111,11 @@ class Semaphore:
         Semaphore._next_id += 1
         self.permits = permits
         self.waiters: Deque["SimThread"] = deque()
+
+    @property
+    def wait_label(self) -> str:
+        """Block reason / timeline span name for waiters."""
+        return f"acquire {self.name}"
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"Semaphore({self.name!r}, permits={self.permits}, "

@@ -80,6 +80,12 @@ class SimThread:
         self.joiners: List["SimThread"] = []
         #: Why the thread is blocked (debugging / deadlock reports).
         self.block_reason: Optional[str] = None
+        #: Time the thread last became READY (scheduling-latency
+        #: histogram origin).
+        self.ready_at = 0.0
+        #: Open ``"block"`` timeline span while blocked/sleeping, or
+        #: None (ended by the kernel on wakeup).
+        self.block_span: Optional[Any] = None
 
         # -------------------------- accounting -------------------------
         self.spawn_time: Optional[float] = None

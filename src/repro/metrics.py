@@ -41,6 +41,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from repro.histogram import LatencyHistogram
+
+#: Latency histograms every run collects (see :mod:`repro.histogram`):
+#: ready-to-dispatch wait, retired compute slice length, and the
+#: off-CPU gap a thread crosses when it migrates between cores.
+HISTOGRAM_NAMES = ("sched_latency_seconds", "slice_seconds",
+                   "migration_gap_seconds")
+
 #: Relative tolerance used by the conservation checks: floating-point
 #: accumulation of many slices loses a few ULPs per operation, nothing
 #: more.
@@ -180,6 +188,10 @@ class RunMetrics:
         field(default_factory=dict)
     #: Named workload counters (see :class:`CounterBag`).
     counters: Dict[str, float] = field(default_factory=dict)
+    #: Streaming latency distributions keyed by :data:`HISTOGRAM_NAMES`
+    #: (answer "how is it distributed", where counters answer "how
+    #: much"; see :mod:`repro.histogram`).
+    histograms: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Convenience views
@@ -280,6 +292,9 @@ class RunMetrics:
                 name: dict(split)
                 for name, split in self.thread_class_cycles.items()},
             "counters": dict(self.counters),
+            "histograms": {name: histogram.as_dict()
+                           for name, histogram
+                           in sorted(self.histograms.items())},
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -291,6 +306,9 @@ class RunMetrics:
         data = dict(data)
         data["cores"] = [CoreMetrics.from_dict(core)
                          for core in data.get("cores", [])]
+        data["histograms"] = {
+            name: LatencyHistogram.from_dict(payload)
+            for name, payload in data.get("histograms", {}).items()}
         return cls(**data)
 
     @classmethod
@@ -374,6 +392,14 @@ class RunMetrics:
             for name, value in item.counters.items():
                 merged.counters[name] = \
                     merged.counters.get(name, 0.0) + value
+            for name, histogram in item.histograms.items():
+                into_histogram = merged.histograms.get(name)
+                if into_histogram is None:
+                    merged.histograms[name] = \
+                        LatencyHistogram.merge([histogram])
+                else:
+                    merged.histograms[name] = LatencyHistogram.merge(
+                        [into_histogram, histogram])
         merged.cores = [cores[index] for index in sorted(cores)]
         return merged
 
@@ -495,6 +521,30 @@ class MetricsCollector:
             class_busy_cycles=class_busy_cycles,
             thread_class_cycles=thread_class_cycles,
             counters=self.counters.as_dict(),
+            histograms={
+                # Zero waits are not counted inline (the common
+                # idle-dispatch fast path does no histogram work):
+                # every dispatch bumps context_switches, so zeros are
+                # the dispatches that put nothing in a bucket.
+                "sched_latency_seconds":
+                    LatencyHistogram.from_bucket_array(
+                        kernel._hb_latency,
+                        kernel.context_switches
+                        - sum(kernel._hb_latency),
+                        kernel._lat_total),
+                # The slice-length sum is exactly the busy time the
+                # retire path already books on the cores (in-flight
+                # slices are in neither, so the books match).
+                "slice_seconds":
+                    LatencyHistogram.from_bucket_array(
+                        kernel._hb_slice, kernel._slice_zeros,
+                        sum(core.busy_time
+                            for core in machine.cores)),
+                "migration_gap_seconds":
+                    LatencyHistogram.from_bucket_array(
+                        kernel._hb_migration, kernel._mig_zeros,
+                        kernel._mig_total),
+            },
         )
 
 

@@ -6,13 +6,18 @@ Public surface:
 * :class:`~repro.sim.events.Event` — cancellable scheduled callback.
 * :class:`~repro.sim.rng.RandomStream` / ``StreamRegistry`` — seeded,
   named random streams.
-* :class:`~repro.sim.trace.Tracer` — structured trace collection.
+* :class:`~repro.sim.trace.Tracer` — structured trace collection:
+  point :class:`~repro.sim.trace.TraceRecord` events and interval
+  :class:`~repro.sim.trace.SpanRecord` timelines.
+* :mod:`~repro.sim.trace_export` — Chrome trace-event / Perfetto
+  export of a run's timeline (:class:`~repro.sim.trace_export.TraceData`).
 """
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStream, StreamRegistry, derive_seed
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import Span, SpanRecord, TraceRecord, Tracer
+from repro.sim.trace_export import TraceData
 
 __all__ = [
     "Simulator",
@@ -21,6 +26,9 @@ __all__ = [
     "RandomStream",
     "StreamRegistry",
     "derive_seed",
+    "Span",
+    "SpanRecord",
+    "TraceData",
     "TraceRecord",
     "Tracer",
 ]

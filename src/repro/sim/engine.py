@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim import trace as _trace
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RandomStream, StreamRegistry
 from repro.sim.trace import Tracer
@@ -39,6 +40,12 @@ class Simulator:
         self._queue = EventQueue()
         self._streams = StreamRegistry(seed)
         self.tracer = Tracer()
+        # The CLI's --trace flag installs process-wide default
+        # categories (repro.sim.trace); every simulation honors them,
+        # so exhibits need no per-figure tracing plumbing.
+        default_categories = _trace.default_categories()
+        if default_categories:
+            self.tracer.enable(*default_categories)
         self._events_fired = 0
         self._running = False
 

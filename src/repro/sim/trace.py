@@ -1,15 +1,55 @@
 """Lightweight structured tracing for simulations.
 
-Tracing exists for two audiences: tests, which assert on sequences of
-kernel decisions (placements, migrations, preemptions), and humans
-debugging a workload model.  It is off by default and costs one ``if``
-per trace point when disabled.
+Tracing exists for three audiences: tests, which assert on sequences
+of kernel decisions (placements, migrations, preemptions); humans
+debugging a workload model; and the timeline exporter
+(:mod:`repro.sim.trace_export`), which turns a run into a Chrome
+trace-event / Perfetto file.  It is off by default and costs one
+``if`` per trace point when disabled.
+
+Two record shapes exist:
+
+* :class:`TraceRecord` — a point event (a scheduler decision, a fault
+  application): one timestamp plus key/value details.
+* :class:`SpanRecord` — an interval: begin/end timestamps plus a name
+  and an optional core/thread binding.  Spans are what the timeline
+  views render as boxes (a compute slice on a core, a thread blocked
+  on a mutex, a throttle window shading a core's track).
+
+Spans are opened with :meth:`Tracer.span` — which returns ``None``
+when the category is disabled, so hot paths pay the usual one-``if``
+guard — and closed with :meth:`Span.end`, at which point the completed
+:class:`SpanRecord` is retained and forwarded to sinks.
+
+Flight recorder
+---------------
+Independent of the unbounded per-category retention, every retained
+record and completed span is also appended to a bounded ring buffer
+(the *flight recorder*), always on for whatever categories are
+enabled.  When a simulation trips an invariant the last
+:data:`FLIGHT_RECORDER_CAPACITY` entries are the crash forensics —
+``tests/harness.py`` dumps them automatically on conservation or
+golden-trace failures.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+#: Entries kept in every tracer's always-on flight-recorder ring.
+FLIGHT_RECORDER_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -32,21 +72,145 @@ class TraceRecord:
         return record
 
 
+@dataclass(frozen=True)
+class SpanRecord:
+    """A completed interval: ``[start, end]`` in one category.
+
+    ``name`` is what timeline views label the box with (a thread name
+    for compute slices, a block reason, a fault kind); ``core`` and
+    ``thread`` bind the span to a track.  ``details`` mirrors
+    :class:`TraceRecord` so sinks can treat both shapes uniformly via
+    :meth:`get`.
+    """
+
+    start: float
+    end: float
+    category: str
+    name: str
+    core: Optional[int] = None
+    thread: Optional[str] = None
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "span": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.core is not None:
+            record["core"] = self.core
+        if self.thread is not None:
+            record["thread"] = self.thread
+        record.update(dict(self.details))
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        data = dict(data)
+        return cls(
+            start=data.pop("start"),
+            end=data.pop("end"),
+            category=data.pop("category"),
+            name=data.pop("span"),
+            core=data.pop("core", None),
+            thread=data.pop("thread", None),
+            details=tuple(sorted(data.items())),
+        )
+
+
+class Span:
+    """An open interval handle returned by :meth:`Tracer.span`.
+
+    Mutable and cheap: ending it builds the immutable
+    :class:`SpanRecord` and hands it to the tracer.  A span may be
+    ended exactly once; ending it again raises.
+    """
+
+    __slots__ = ("_tracer", "category", "name", "start", "core",
+                 "thread", "details")
+
+    def __init__(self, tracer: "Tracer", start: float, category: str,
+                 name: str, core: Optional[int],
+                 thread: Optional[str],
+                 details: Tuple[Tuple[str, Any], ...]) -> None:
+        self._tracer: Optional["Tracer"] = tracer
+        self.start = start
+        self.category = category
+        self.name = name
+        self.core = core
+        self.thread = thread
+        self.details = details
+
+    def end(self, time: float, **details: Any) -> SpanRecord:
+        """Close the span at ``time``; extra details are appended."""
+        tracer = self._tracer
+        if tracer is None:
+            raise RuntimeError(
+                f"span {self.name!r} ended twice")
+        self._tracer = None
+        merged = self.details
+        if details:
+            merged = tuple(sorted(dict(merged, **details).items()))
+        record = SpanRecord(self.start, time, self.category, self.name,
+                            self.core, self.thread, merged)
+        tracer._retain_span(record)
+        return record
+
+
+#: What sinks receive: point records and completed spans.
+TraceItem = Union[TraceRecord, SpanRecord]
+
+
 class Tracer:
-    """Collects :class:`TraceRecord` objects for enabled categories.
+    """Collects :class:`TraceRecord` / :class:`SpanRecord` objects for
+    enabled categories.
 
     ``active`` is the public set of enabled categories; hot paths guard
     trace points with ``if "sched" in tracer.active`` so that a
     disabled trace point costs one set-membership check and never
     builds the keyword dict a :meth:`record` call would require.
+
+    Sink guarantee
+    --------------
+    Sinks registered with :meth:`add_sink` observe **exactly** the
+    items this tracer retains, in retention order: every point record
+    that passes the category gate, and every completed span (spans are
+    forwarded once, at :meth:`Span.end` time — never while open).
+    Nothing gated out by ``active`` ever reaches a sink, and nothing
+    retained is skipped — so a sink is a superset-free, subset-free
+    live view of :meth:`records` plus :meth:`spans`.  (The flight
+    recorder ring may *evict* old items; eviction does not retract the
+    sink notification that already happened.)
     """
 
     def __init__(self) -> None:
         #: Enabled categories (treat as read-only; use enable/disable).
         self.active: set = set()
         self._records: List[TraceRecord] = []
-        self._sinks: List[Callable[[TraceRecord], None]] = []
+        self._spans: List[SpanRecord] = []
+        self._sinks: List[Callable[[TraceItem], None]] = []
+        #: Always-on bounded ring of the most recent retained items
+        #: (records and completed spans interleaved, retention order).
+        self._flight: Deque[TraceItem] = deque(
+            maxlen=FLIGHT_RECORDER_CAPACITY)
+        #: When set, per-category retention is bounded too (memory cap
+        #: for long traced runs); see :meth:`set_retention`.
+        self._retention_limit: Optional[int] = None
 
+    # ------------------------------------------------------------------
+    # Category control
+    # ------------------------------------------------------------------
     def enable(self, *categories: str) -> None:
         """Start recording the given categories (e.g. ``"sched"``)."""
         self.active.update(categories)
@@ -55,27 +219,136 @@ class Tracer:
         for category in categories:
             self.active.discard(category)
 
-    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
-        """Also forward records to ``sink`` (e.g. ``print``)."""
-        self._sinks.append(sink)
-
     def enabled(self, category: str) -> bool:
         return category in self.active
 
+    def add_sink(self, sink: Callable[[TraceItem], None]) -> None:
+        """Forward retained items to ``sink`` (see the class docstring
+        for the exact guarantee)."""
+        self._sinks.append(sink)
+
+    def set_retention(self, limit: Optional[int]) -> None:
+        """Bound per-category retention to the last ``limit`` items.
+
+        ``None`` restores unbounded retention.  Useful for flight-
+        recorder-style always-on tracing of long runs: categories stay
+        enabled (so sinks and the flight ring see everything) while
+        memory stays O(limit).  Existing items beyond the limit are
+        dropped oldest-first.
+        """
+        self._retention_limit = limit
+        if limit is not None:
+            self._records = list(self._records[-limit:])
+            self._spans = list(self._spans[-limit:])
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
     def record(self, time: float, category: str, **details: Any) -> None:
         """Record a trace point if its category is enabled."""
         if category not in self.active:
             return
         rec = TraceRecord(time, category, tuple(sorted(details.items())))
         self._records.append(rec)
+        limit = self._retention_limit
+        if limit is not None and len(self._records) > limit:
+            del self._records[0]
+        self._flight.append(rec)
         for sink in self._sinks:
             sink(rec)
 
+    def span(self, time: float, category: str, name: str,
+             core: Optional[int] = None, thread: Optional[str] = None,
+             **details: Any) -> Optional[Span]:
+        """Open a span at ``time``; returns ``None`` when disabled.
+
+        Hot paths should guard the call with
+        ``if category in tracer.active`` so the disabled cost stays at
+        one set-membership check; the ``None`` return makes an
+        unguarded call safe too.
+        """
+        if category not in self.active:
+            return None
+        return Span(self, time, category, name, core, thread,
+                    tuple(sorted(details.items())) if details else ())
+
+    def _retain_span(self, record: SpanRecord) -> None:
+        self._spans.append(record)
+        limit = self._retention_limit
+        if limit is not None and len(self._spans) > limit:
+            del self._spans[0]
+        self._flight.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def records(self, category: Optional[str] = None) -> List[TraceRecord]:
-        """All records, optionally filtered by category."""
+        """All retained point records, optionally filtered by category."""
         if category is None:
             return list(self._records)
         return [r for r in self._records if r.category == category]
 
+    def spans(self, category: Optional[str] = None) -> List[SpanRecord]:
+        """All retained completed spans, optionally by category.
+
+        Order is completion (``end``) order, which is deterministic
+        simulation order.
+        """
+        if category is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.category == category]
+
+    def flight_dump(self) -> List[Dict[str, Any]]:
+        """JSON-ready dump of the flight-recorder ring (oldest first).
+
+        Point records carry ``"time"``; spans carry ``"span"`` with
+        ``"start"``/``"end"`` — the same shapes ``as_dict`` produces.
+        """
+        return [item.as_dict() for item in self._flight]
+
     def clear(self) -> None:
         self._records.clear()
+        self._spans.clear()
+        self._flight.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide default categories (the CLI's --trace flag).
+#
+# Mirrors repro.faults' default-schedule plumbing: every freshly built
+# Simulator enables these categories on its tracer, and the process-
+# pool backend re-installs them in worker processes, so `--trace`
+# sweeps stay byte-identical between serial and parallel execution.
+# ----------------------------------------------------------------------
+#: The category set ``--trace-out`` enables when ``--trace`` is absent.
+DEFAULT_TRACE_CATEGORIES = ("exec", "sched", "block", "faults")
+
+_default_categories: Optional[FrozenSet[str]] = None
+
+
+def install_default_categories(
+        categories) -> Optional[FrozenSet[str]]:
+    """Set the process-wide trace categories (None clears them)."""
+    global _default_categories
+    _default_categories = (frozenset(categories)
+                           if categories is not None else None)
+    return _default_categories
+
+
+def clear_default_categories() -> None:
+    install_default_categories(None)
+
+
+def default_categories() -> Optional[FrozenSet[str]]:
+    return _default_categories
+
+
+def parse_categories(spec: str) -> FrozenSet[str]:
+    """Parse a ``--trace`` argument: comma-separated category names."""
+    categories = frozenset(
+        part.strip() for part in spec.split(",") if part.strip())
+    if not categories:
+        raise ValueError(f"no trace categories in {spec!r}")
+    return categories

@@ -17,6 +17,8 @@ from repro._system import System
 from repro.faults import FaultSchedule
 from repro.kernel.scheduler import Scheduler
 from repro.metrics import RunMetrics
+from repro.sim import trace as _trace
+from repro.sim.trace_export import TraceData
 
 #: Builds a fresh scheduler per run (schedulers are stateful).
 SchedulerFactory = Callable[[], Scheduler]
@@ -30,6 +32,9 @@ class RunResult:
     ``run_metrics`` is the simulation's always-on observability
     snapshot (per-core accounting, migrations, workload counters — see
     :mod:`repro.metrics`), attached by every workload's ``run_once``.
+    ``trace`` is the run's exportable timeline, attached only when the
+    process-wide trace categories are installed (the CLI's ``--trace``
+    flag); see :mod:`repro.sim.trace_export`.
     """
 
     workload: str
@@ -37,6 +42,7 @@ class RunResult:
     seed: int
     metrics: Dict[str, float] = field(default_factory=dict)
     run_metrics: Optional[RunMetrics] = None
+    trace: Optional[TraceData] = None
 
     def metric(self, name: str) -> float:
         try:
@@ -104,9 +110,15 @@ class Workload(abc.ABC):
         """Convenience constructor for :class:`RunResult`.
 
         Passing the run's ``system`` attaches its
-        :class:`~repro.metrics.RunMetrics` snapshot.
+        :class:`~repro.metrics.RunMetrics` snapshot — and, when the
+        process-wide trace categories are installed, the run's
+        timeline as a :class:`~repro.sim.trace_export.TraceData`.
         """
+        trace = None
+        if system is not None and _trace.default_categories():
+            trace = TraceData.from_system(system)
         return RunResult(
             self.name, config, seed, dict(metrics),
             run_metrics=system.run_metrics()
-            if system is not None else None)
+            if system is not None else None,
+            trace=trace)

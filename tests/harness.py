@@ -16,13 +16,22 @@ audit those books, shared across the test suite:
 * ``GOLDEN_RUNS`` — the registry of small fixed-seed simulations whose
   canonical JSON lives in ``tests/golden/`` (regenerate with
   ``python tests/golden/regenerate.py``).
+* Flight-recorder dumps — every golden rebuild runs with the default
+  trace categories enabled and captures the tracer's bounded ring
+  (:data:`repro.sim.trace.FLIGHT_RECORDER_CAPACITY` most recent spans
+  and records); when a conservation invariant or golden comparison
+  fails, :func:`write_flight_dump` writes the ring to
+  ``$REPRO_FLIGHT_DIR`` (default: a ``repro-flight-dumps`` directory
+  under the system temp dir) so the failure ships its own forensics.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro import System
 from repro.faults import (
@@ -38,7 +47,8 @@ from repro.metrics import (
     CONSERVATION_RTOL,
     RunMetrics,
 )
-from repro.sim.trace import TraceRecord
+from repro.sim import trace as _trace
+from repro.sim.trace import FLIGHT_RECORDER_CAPACITY, TraceRecord, Tracer
 from repro.workloads.specjbb import SpecJBB
 from repro.workloads.tpch.workload import TpchQuery
 
@@ -46,13 +56,67 @@ GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 # ----------------------------------------------------------------------
+# Flight-recorder dumps
+# ----------------------------------------------------------------------
+#: golden name -> flight-recorder entries of the most recent rebuild.
+GOLDEN_FLIGHT: Dict[str, List[Dict[str, Any]]] = {}
+
+
+def flight_dump_dir() -> Path:
+    """Where failure dumps land (CI uploads this as an artifact)."""
+    configured = os.environ.get("REPRO_FLIGHT_DIR")
+    if configured:
+        return Path(configured)
+    return Path(tempfile.gettempdir()) / "repro-flight-dumps"
+
+
+def write_flight_dump(label: str,
+                      entries: List[Dict[str, Any]]) -> Path:
+    """Persist flight-recorder ``entries`` as JSON; returns the path."""
+    directory = flight_dump_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{label}.flight.json"
+    payload = {"label": label, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def _flight_from_trace(data) -> List[Dict[str, Any]]:
+    """Rebuild a flight ring from a run's captured ``TraceData``.
+
+    Workload-owned runs (``run_once``) finish before the harness can
+    reach their tracer, but their :class:`RunResult` carries the full
+    timeline — the last ring's worth of it, merged in time order, is
+    the same forensics the live ring would have held.
+    """
+    if data is None:
+        return []
+    items = ([(record.time, record.as_dict())
+              for record in data.records]
+             + [(span.end, span.as_dict()) for span in data.spans])
+    items.sort(key=lambda pair: pair[0])
+    return [entry for _, entry in items[-FLIGHT_RECORDER_CAPACITY:]]
+
+
+# ----------------------------------------------------------------------
 # Invariant checkers
 # ----------------------------------------------------------------------
 def assert_conservation(metrics: RunMetrics,
                         rtol: float = CONSERVATION_RTOL,
-                        atol: float = CONSERVATION_ATOL) -> None:
-    """Fail with every violated conservation law listed."""
+                        atol: float = CONSERVATION_ATOL,
+                        tracer: Optional[Tracer] = None,
+                        label: str = "conservation") -> None:
+    """Fail with every violated conservation law listed.
+
+    Passing the run's ``tracer`` dumps its flight-recorder ring to
+    :func:`flight_dump_dir` on failure and names the dump in the
+    assertion message.
+    """
     errors = metrics.conservation_errors(rtol=rtol, atol=atol)
+    if errors and tracer is not None:
+        path = write_flight_dump(label, tracer.flight_dump())
+        errors = errors + [f"flight recorder dumped to {path}"]
     assert not errors, \
         "cycle conservation violated:\n  " + "\n  ".join(errors)
 
@@ -159,11 +223,30 @@ def watch_fast_cores(system: System) -> FastCoreIdleWatcher:
 # ----------------------------------------------------------------------
 # Golden runs
 # ----------------------------------------------------------------------
+def _traced_run_once(name: str, workload, *args, **kwargs):
+    """Run a workload with the default trace categories installed.
+
+    Tracing is passive — it schedules no events and changes no
+    metrics, so the golden payload is byte-identical either way — but
+    the captured timeline feeds :data:`GOLDEN_FLIGHT` so a drifted
+    fixture ships its flight-recorder dump.
+    """
+    previous = _trace.default_categories()
+    _trace.install_default_categories(_trace.DEFAULT_TRACE_CATEGORIES)
+    try:
+        result = workload.run_once(*args, **kwargs)
+    finally:
+        _trace.install_default_categories(previous)
+    GOLDEN_FLIGHT[name] = _flight_from_trace(result.trace)
+    return result
+
+
 def _golden_specjbb() -> Dict[str, Any]:
     """SPECjbb, stock scheduler, asymmetric machine (Figure 1 regime)."""
     workload = SpecJBB(warehouses=2, measurement_seconds=0.4,
                        warmup_seconds=0.1)
-    result = workload.run_once("2f-2s/8", seed=42)
+    result = _traced_run_once("specjbb_2f-2s_stock_seed42", workload,
+                              "2f-2s/8", seed=42)
     return {
         "kind": "run",
         "workload": result.workload,
@@ -177,8 +260,9 @@ def _golden_specjbb() -> Dict[str, Any]:
 def _golden_tpch() -> Dict[str, Any]:
     """TPC-H Q3, asymmetry-aware scheduler (§3.3 with the kernel fix)."""
     workload = TpchQuery(query=3)
-    result = workload.run_once("1f-3s/8", seed=7,
-                               scheduler_factory=AsymmetryAwareScheduler)
+    result = _traced_run_once(
+        "tpch_q3_1f-3s_asym_seed7", workload, "1f-3s/8", seed=7,
+        scheduler_factory=AsymmetryAwareScheduler)
     return {
         "kind": "run",
         "workload": result.workload,
@@ -199,7 +283,7 @@ def _golden_sched_trace() -> Dict[str, Any]:
     """
     system = System.build("1f-3s/8", seed=11,
                           scheduler=AsymmetryAwareScheduler())
-    system.sim.tracer.enable("sched")
+    system.sim.tracer.enable(*_trace.DEFAULT_TRACE_CATEGORIES)
 
     def body(cycles):
         yield Compute(cycles)
@@ -207,6 +291,8 @@ def _golden_sched_trace() -> Dict[str, Any]:
     for index, cycles in enumerate([4e8, 2.5e8, 1.5e8, 0.8e8]):
         system.kernel.spawn(SimThread(f"t{index}", body(cycles)))
     duration = system.run()
+    GOLDEN_FLIGHT["sched_trace_1f-3s_asym_seed11"] = \
+        system.sim.tracer.flight_dump()
     events = [record.as_dict()
               for record in system.sim.tracer.records("sched")]
     return {
@@ -243,7 +329,7 @@ def _golden_fault_storm() -> Dict[str, Any]:
     time-at-speed books all feed the fixture.
     """
     system = System.build("2f-2s/8", seed=5)
-    system.sim.tracer.enable("faults")
+    system.sim.tracer.enable(*_trace.DEFAULT_TRACE_CATEGORIES)
     injector = golden_fault_schedule().install(system)
 
     def body(cycles):
@@ -252,6 +338,8 @@ def _golden_fault_storm() -> Dict[str, Any]:
     for index, cycles in enumerate([5e8, 3e8, 2e8, 1.2e8, 0.9e8]):
         system.kernel.spawn(SimThread(f"t{index}", body(cycles)))
     duration = system.run()
+    GOLDEN_FLIGHT["fault_storm_2f-2s_seed5"] = \
+        system.sim.tracer.flight_dump()
     events = [record.as_dict()
               for record in system.sim.tracer.records("faults")]
     return {

@@ -21,8 +21,17 @@ def test_golden_fixture_matches(name):
     actual = harness.GOLDEN_RUNS[name]()
     # Compare canonical renderings: byte-identical files are the
     # contract (the CI diff of a golden file is the review artifact).
-    assert harness.canonical_json(actual) == \
-        harness.canonical_json(expected)
+    actual_text = harness.canonical_json(actual)
+    expected_text = harness.canonical_json(expected)
+    if actual_text != expected_text:
+        # Ship the forensics with the failure: the rebuild ran with
+        # tracing on, so its flight-recorder ring shows the last
+        # moments of the diverging simulation.
+        entries = harness.GOLDEN_FLIGHT.get(name, [])
+        path = harness.write_flight_dump(name, entries)
+        assert actual_text == expected_text, (
+            f"golden fixture {name!r} drifted; flight recorder "
+            f"({len(entries)} entries) dumped to {path}")
 
 
 @pytest.mark.parametrize("name", sorted(harness.GOLDEN_RUNS))

@@ -3,12 +3,15 @@
 import pytest
 
 from repro.experiments.report import (
+    format_histogram,
     format_metrics,
+    format_seconds,
     format_series,
     format_speedups,
     format_sweep,
     format_table,
 )
+from repro.histogram import LatencyHistogram
 from repro.experiments.runner import ConfigSweep
 from repro.metrics import CoreMetrics, RunMetrics
 from repro.workloads.base import RunResult
@@ -145,3 +148,75 @@ class TestFormatMetrics:
     def test_plural_runs_header(self):
         metrics = RunMetrics.merge([self._metrics(), self._metrics()])
         assert "(2 runs, 2.000s simulated)" in format_metrics(metrics)
+
+    def test_histograms_render_when_present(self):
+        metrics = self._metrics()
+        hist = LatencyHistogram()
+        hist.add(0.002)
+        metrics.histograms["sched_latency_seconds"] = hist
+        text = format_metrics(metrics)
+        assert "sched_latency_seconds: 1 samples" in text
+        assert "sched_latency_seconds" not in \
+            format_metrics(metrics, counters=False)
+
+    def test_empty_histograms_are_skipped(self):
+        metrics = self._metrics()
+        metrics.histograms["sched_latency_seconds"] = \
+            LatencyHistogram()
+        assert "sched_latency_seconds" not in format_metrics(metrics)
+
+
+class TestFormatSeconds:
+    def test_si_units(self):
+        assert format_seconds(0.0) == "0s"
+        assert format_seconds(1.5) == "1.5s"
+        assert format_seconds(0.0025) == "2.5ms"
+        assert format_seconds(3.4e-5) == "34us"
+        assert format_seconds(2e-9) == "2ns"
+
+
+class TestFormatHistogram:
+    def test_empty_histogram(self):
+        assert format_histogram("lat", LatencyHistogram()) == \
+            "lat: (empty)"
+
+    def test_single_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(3):
+            hist.add(0.01)
+        text = format_histogram("lat", hist)
+        lines = text.splitlines()
+        assert lines[0].startswith("lat: 3 samples")
+        assert len(lines) == 2          # summary + one bucket row
+        assert lines[1].rstrip().endswith("#" * 40)
+        assert "3" in lines[1]
+
+    def test_zeros_get_their_own_row(self):
+        hist = LatencyHistogram()
+        hist.add(0.0)
+        hist.add(0.5)
+        text = format_histogram("lat", hist)
+        assert "= 0" in text
+
+    def test_merge_of_unequal_bucket_sets_renders_all_buckets(self):
+        a = LatencyHistogram()
+        a.add(1e-4)
+        b = LatencyHistogram()
+        b.add(1.0)
+        b.add(0.0)
+        merged = LatencyHistogram.merge([a, b])
+        text = format_histogram("lat", merged)
+        lines = text.splitlines()
+        # summary + zeros row + one row per distinct bucket.
+        assert len(lines) == 4
+        assert lines[0].startswith("lat: 3 samples")
+
+    def test_bars_scale_to_fullest_bucket(self):
+        hist = LatencyHistogram()
+        for _ in range(40):
+            hist.add(0.01)
+        hist.add(1.0)
+        lines = format_histogram("lat", hist, width=20).splitlines()
+        bars = [line.count("#") for line in lines[1:]]
+        assert max(bars) == 20
+        assert min(bars) == 1           # tiny buckets still visible

@@ -1,0 +1,165 @@
+"""Chrome trace-event export: structure, determinism, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import (
+    ProcessPoolBackend,
+    RunTask,
+    SerialBackend,
+    task_fingerprint,
+)
+from repro.sim import trace as _trace
+from repro.sim import trace_export
+from repro.sim.trace_export import TraceData, TraceSink
+from repro.workloads.specjbb import SpecJBB
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+import check_trace_schema  # noqa: E402
+
+
+@pytest.fixture
+def default_tracing():
+    """Install the default trace categories for the test's duration."""
+    _trace.install_default_categories(_trace.DEFAULT_TRACE_CATEGORIES)
+    try:
+        yield
+    finally:
+        _trace.clear_default_categories()
+
+
+def _workload():
+    return SpecJBB(warehouses=2, measurement_seconds=0.2,
+                   warmup_seconds=0.05)
+
+
+def _tasks(seeds=(1, 2)):
+    workload = _workload()
+    return [RunTask(workload, "2f-2s/8", seed) for seed in seeds]
+
+
+class TestTraceData:
+    def test_attached_only_when_tracing_enabled(self, default_tracing):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        assert result.trace is not None
+        assert result.trace.spans, "traced run captured no spans"
+        assert len(result.trace.core_labels) == 4
+        assert result.trace.core_labels[0] == "cpu0 (fast)"
+        assert result.trace.core_labels[3] == "cpu3 (slow)"
+
+    def test_not_attached_by_default(self):
+        assert _workload().run_once("2f-2s/8", seed=3).trace is None
+
+    def test_dict_round_trip(self, default_tracing):
+        data = _workload().run_once("2f-2s/8", seed=3).trace
+        back = TraceData.from_dict(data.as_dict())
+        assert back.core_labels == data.core_labels
+        assert back.spans == data.spans
+        assert back.records == data.records
+
+
+class TestChromeTrace:
+    def test_schema_valid_and_tracks_named(self, default_tracing):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        errors, census = check_trace_schema.check_trace(trace)
+        assert errors == []
+        assert census["X"] > 0 and census["M"] > 0
+        names = [event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event["ph"] == "M"
+                 and event["name"] == "thread_name"]
+        assert "cpu0 (fast)" in names
+        process_names = [event["args"]["name"]
+                         for event in trace["traceEvents"]
+                         if event["ph"] == "M"
+                         and event["name"] == "process_name"]
+        assert process_names == ["SPECjbb 2f-2s/8 seed=3"]
+
+    def test_migrations_become_flow_events(self, default_tracing):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        starts = [e for e in trace["traceEvents"] if e["ph"] == "s"]
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "f"]
+        migrations = result.run_metrics.migrations
+        assert len(starts) == len(ends) == migrations
+
+    def test_histograms_embedded_for_trace_diff(self, default_tracing):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        runs = trace["otherData"]["runs"]
+        assert len(runs) == 1
+        assert "sched_latency_seconds" in runs[0]["histograms"]
+
+    def test_untraced_results_are_skipped(self):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        assert trace["traceEvents"] == []
+        assert trace["otherData"]["runs"] == []
+
+
+class TestDeterminism:
+    def test_serial_and_pool_export_byte_identical(self,
+                                                   default_tracing):
+        serial = SerialBackend().execute(_tasks())
+        pooled = ProcessPoolBackend(jobs=2).execute(_tasks())
+        text_serial = trace_export.trace_to_json(
+            trace_export.chrome_trace(serial))
+        text_pooled = trace_export.trace_to_json(
+            trace_export.chrome_trace(pooled))
+        assert text_serial == text_pooled
+
+    def test_fingerprint_distinguishes_traced_runs(self):
+        task = _tasks()[0]
+        untraced = task_fingerprint(task)
+        _trace.install_default_categories(("exec",))
+        try:
+            traced = task_fingerprint(task)
+        finally:
+            _trace.clear_default_categories()
+        assert traced != untraced
+
+
+class TestTraceSink:
+    def test_backends_feed_the_active_sink(self, default_tracing):
+        sink = trace_export.install_sink(TraceSink())
+        try:
+            SerialBackend().execute(_tasks())
+        finally:
+            trace_export.remove_sink()
+        assert len(sink.records) == 2
+        assert trace_export.active_sink() is None
+
+    def test_sink_drops_untraced_results(self):
+        sink = TraceSink()
+        sink.extend([_workload().run_once("2f-2s/8", seed=3)])
+        assert sink.records == []
+
+
+class TestWriteTrace:
+    def test_written_file_is_valid_and_loadable(self, tmp_path,
+                                                default_tracing):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        path = tmp_path / "run.trace.json"
+        count = trace_export.write_chrome_trace(str(path), [result])
+        assert count > 0
+        assert check_trace_schema.check_file(str(path))
+        trace = json.loads(path.read_text(encoding="utf-8"))
+        assert len(trace["traceEvents"]) == count
+
+
+class TestCLI:
+    def test_trace_flag_requires_trace_out(self, capsys):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig01", "--trace", "exec"])
+
+    def test_parse_categories(self):
+        assert _trace.parse_categories("exec, sched") == \
+            frozenset({"exec", "sched"})
+        with pytest.raises(ValueError):
+            _trace.parse_categories(" , ")

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Validate Chrome trace-event files with only the stdlib.
+
+CI's trace-smoke job exports a timeline with ``--trace-out`` and runs
+this checker over it, so a malformed event (one Perfetto would refuse
+to load or silently drop) fails the build instead of a demo::
+
+    python tools/check_trace_schema.py TRACE.json [TRACE.json ...]
+
+Checks the subset of the trace-event format the exporter emits:
+
+* the file is a JSON object with a ``traceEvents`` list;
+* every event has a known phase ``ph``, an integer ``pid``, and the
+  fields that phase requires (``ts``/``dur`` for complete events,
+  ``s`` scope for instants, ``id`` for flows, ``args.name`` for
+  metadata);
+* timestamps and durations are finite and non-negative;
+* every flow-finish (``ph: f``) has a matching flow-start (``ph: s``)
+  with the same ``(pid, cat, id)``.
+
+Exit status: 0 when every file passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any, Dict, List, Tuple
+
+#: Phases the exporter emits (a deliberate subset of the spec).
+KNOWN_PHASES = {"M", "X", "i", "s", "f"}
+#: Metadata record names Perfetto interprets.
+KNOWN_METADATA = {"process_name", "process_labels", "process_sort_index",
+                  "thread_name", "thread_sort_index"}
+#: Instant-event scopes from the spec.
+KNOWN_SCOPES = {"t", "p", "g"}
+
+
+def _is_time(value: Any) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value) and value >= 0.0)
+
+
+def check_event(event: Any, index: int,
+                errors: List[str]) -> None:
+    """Append schema violations of one event to ``errors``."""
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    phase = event.get("ph")
+    if phase not in KNOWN_PHASES:
+        errors.append(f"{where}: unknown phase {phase!r}")
+        return
+    if not isinstance(event.get("pid"), int):
+        errors.append(f"{where}: pid must be an integer")
+    if phase == "M":
+        if event.get("name") not in KNOWN_METADATA:
+            errors.append(f"{where}: unknown metadata record "
+                          f"{event.get('name')!r}")
+        args = event.get("args")
+        if not (isinstance(args, dict)
+                and isinstance(args.get("name"), str)):
+            errors.append(f"{where}: metadata needs args.name string")
+        return
+    # Every non-metadata phase needs a track and a timestamp.
+    if not isinstance(event.get("tid"), int):
+        errors.append(f"{where}: tid must be an integer")
+    if not _is_time(event.get("ts")):
+        errors.append(f"{where}: ts must be a finite number >= 0")
+    if not isinstance(event.get("name"), str):
+        errors.append(f"{where}: name must be a string")
+    if phase == "X" and not _is_time(event.get("dur")):
+        errors.append(f"{where}: complete event needs finite dur >= 0")
+    if phase == "i" and event.get("s") not in KNOWN_SCOPES:
+        errors.append(f"{where}: instant scope must be one of "
+                      f"{sorted(KNOWN_SCOPES)}")
+    if phase in ("s", "f") and event.get("id") is None:
+        errors.append(f"{where}: flow event needs an id")
+
+
+def check_trace(trace: Any) -> Tuple[List[str], Dict[str, int]]:
+    """All schema violations plus a per-phase event census."""
+    errors: List[str] = []
+    census: Dict[str, int] = {}
+    if not isinstance(trace, dict):
+        return ["top level: not a JSON object"], census
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level: no traceEvents list"], census
+    flow_starts = set()
+    flow_ends = []
+    for index, event in enumerate(events):
+        check_event(event, index, errors)
+        if isinstance(event, dict):
+            phase = event.get("ph")
+            census[str(phase)] = census.get(str(phase), 0) + 1
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            if phase == "s":
+                flow_starts.add(key)
+            elif phase == "f":
+                flow_ends.append((index, key))
+    for index, key in flow_ends:
+        if key not in flow_starts:
+            errors.append(f"traceEvents[{index}]: flow finish without "
+                          f"a matching start (pid, cat, id)={key}")
+    return errors, census
+
+
+def check_file(path: str) -> bool:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable: {exc}")
+        return False
+    errors, census = check_trace(trace)
+    total = sum(census.values())
+    shape = ", ".join(f"{phase}={count}"
+                      for phase, count in sorted(census.items()))
+    if errors:
+        for error in errors[:20]:
+            print(f"{path}: {error}")
+        if len(errors) > 20:
+            print(f"{path}: ... and {len(errors) - 20} more")
+        print(f"{path}: FAIL ({len(errors)} violations "
+              f"in {total} events)")
+        return False
+    print(f"{path}: ok ({total} events: {shape})")
+    return True
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {sys.argv[0]} TRACE.json [TRACE.json ...]")
+        return 2
+    return 0 if all([check_file(path) for path in argv]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

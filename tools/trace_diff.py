@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""Compare two exported simulation traces run by run.
+
+When a code change moves a golden trace or shifts a figure, the first
+question is *where the timelines diverge* — which slice, on which
+core, at what simulated time.  This tool answers it from two
+``--trace-out`` files (see :mod:`repro.sim.trace_export`)::
+
+    python tools/trace_diff.py before.trace.json after.trace.json
+
+Runs are matched by ``(workload, config, seed)`` (the ``pid`` numbers
+may differ).  For every matched run it reports:
+
+* the **first divergence**: the earliest event index where the two
+  runs' event streams differ, with both events printed;
+* **per-core busy-time deltas**: total ``exec`` span time per core
+  track on each side;
+* **histogram shifts**: count/mean/p95 movement of each latency
+  histogram embedded in the trace's ``otherData`` summary.
+
+Exit status: 0 when every matched run is identical and both files
+contain the same runs, 1 otherwise.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+RunKey = Tuple[str, str, int]
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def runs_by_key(trace: Dict[str, Any],
+                ) -> Dict[RunKey, List[Dict[str, Any]]]:
+    """``otherData`` run summaries keyed by (workload, config, seed).
+
+    A key may recur (e.g. one exhibit sweeping load levels reuses the
+    same config and seed), so each key maps to the list of summaries
+    in file order; matching pairs the n-th occurrence on each side.
+    """
+    table: Dict[RunKey, List[Dict[str, Any]]] = {}
+    for summary in trace.get("otherData", {}).get("runs", []):
+        key = (summary["workload"], summary["config"], summary["seed"])
+        table.setdefault(key, []).append(summary)
+    return table
+
+
+def run_events(trace: Dict[str, Any], pid: int) -> List[Dict[str, Any]]:
+    """One run's events in file order, with ``pid`` masked out so
+    streams compare equal across files that numbered runs differently."""
+    events = []
+    for event in trace.get("traceEvents", []):
+        if event.get("pid") != pid:
+            continue
+        masked = dict(event)
+        masked.pop("pid", None)
+        events.append(masked)
+    return events
+
+
+def describe(event: Optional[Dict[str, Any]]) -> str:
+    if event is None:
+        return "(stream ended)"
+    phase = event.get("ph")
+    name = event.get("name", "")
+    ts = event.get("ts")
+    where = f"tid={event.get('tid')}" if "tid" in event else "process"
+    text = f"ph={phase} {name!r} {where}"
+    if ts is not None:
+        text += f" ts={ts / 1e6:.6f}s"
+    if phase == "X":
+        text += f" dur={event.get('dur', 0.0) / 1e6:.6f}s"
+    return text
+
+
+def first_divergence(a: List[Dict[str, Any]], b: List[Dict[str, Any]],
+                     ) -> Optional[int]:
+    """Index of the first differing event, or None when identical."""
+    for index in range(max(len(a), len(b))):
+        left = a[index] if index < len(a) else None
+        right = b[index] if index < len(b) else None
+        if left != right:
+            return index
+    return None
+
+
+def core_labels(events: List[Dict[str, Any]]) -> Dict[int, str]:
+    """tid -> label for the core tracks (named ``cpuN (...)``)."""
+    labels = {}
+    for event in events:
+        if event.get("ph") == "M" \
+                and event.get("name") == "thread_name":
+            label = event.get("args", {}).get("name", "")
+            if label.startswith("cpu"):
+                labels[event["tid"]] = label
+    return labels
+
+
+def core_busy(events: List[Dict[str, Any]]) -> Dict[int, float]:
+    """Total exec-span seconds per core tid."""
+    busy: Dict[int, float] = {}
+    for event in events:
+        if event.get("ph") == "X" and event.get("cat") == "exec":
+            tid = event.get("tid")
+            busy[tid] = busy.get(tid, 0.0) + event.get("dur", 0.0) / 1e6
+    return busy
+
+
+# ----------------------------------------------------------------------
+# Histogram summaries (same bucket convention as repro.histogram:
+# integer keys are binary exponents; bucket e covers (2**(e-1), 2**e]).
+# ----------------------------------------------------------------------
+def hist_count(data: Dict[str, Any]) -> int:
+    return data.get("zeros", 0) + sum(data.get("buckets", {}).values())
+
+
+def hist_mean(data: Dict[str, Any]) -> float:
+    count = hist_count(data)
+    return data.get("total", 0.0) / count if count else 0.0
+
+
+def hist_quantile(data: Dict[str, Any], q: float) -> float:
+    count = hist_count(data)
+    if count == 0:
+        return 0.0
+    rank = q * count
+    seen = float(data.get("zeros", 0))
+    if rank <= seen:
+        return 0.0
+    buckets = {int(key): value
+               for key, value in data.get("buckets", {}).items()}
+    for exponent in sorted(buckets):
+        seen += buckets[exponent]
+        if rank <= seen:
+            return math.ldexp(1.0, exponent)
+    return math.ldexp(1.0, max(buckets))
+
+
+def diff_histograms(a: Dict[str, Any], b: Dict[str, Any],
+                    indent: str = "    ") -> List[str]:
+    lines = []
+    for name in sorted(set(a) | set(b)):
+        left, right = a.get(name, {}), b.get(name, {})
+        if left == right:
+            continue
+        lines.append(
+            f"{indent}{name}: "
+            f"count {hist_count(left)} -> {hist_count(right)}, "
+            f"mean {hist_mean(left):.3e} -> {hist_mean(right):.3e}, "
+            f"p95 {hist_quantile(left, 0.95):.3e} -> "
+            f"{hist_quantile(right, 0.95):.3e}")
+    return lines
+
+
+def diff_run(key: RunKey, trace_a: Dict[str, Any],
+             trace_b: Dict[str, Any], summary_a: Dict[str, Any],
+             summary_b: Dict[str, Any]) -> bool:
+    """Print one run's comparison; returns True when identical."""
+    events_a = run_events(trace_a, summary_a["pid"])
+    events_b = run_events(trace_b, summary_b["pid"])
+    workload, config, seed = key
+    title = f"{workload} {config} seed={seed}"
+    index = first_divergence(events_a, events_b)
+    if index is None:
+        return True
+    print(f"== {title}")
+    print(f"  first divergence at event #{index} "
+          f"(a has {len(events_a)} events, b has {len(events_b)}):")
+    left = events_a[index] if index < len(events_a) else None
+    right = events_b[index] if index < len(events_b) else None
+    print(f"    a: {describe(left)}")
+    print(f"    b: {describe(right)}")
+    labels = {**core_labels(events_b), **core_labels(events_a)}
+    busy_a, busy_b = core_busy(events_a), core_busy(events_b)
+    deltas = [(tid, busy_a.get(tid, 0.0), busy_b.get(tid, 0.0))
+              for tid in sorted(set(busy_a) | set(busy_b))]
+    if deltas:
+        print("  per-core exec busy time (seconds):")
+        for tid, left_busy, right_busy in deltas:
+            label = labels.get(tid, f"tid {tid}")
+            marker = "" if abs(right_busy - left_busy) < 1e-12 \
+                else f"  ({right_busy - left_busy:+.6f})"
+            print(f"    {label}: {left_busy:.6f} -> "
+                  f"{right_busy:.6f}{marker}")
+    shifts = diff_histograms(summary_a.get("histograms", {}),
+                             summary_b.get("histograms", {}))
+    if shifts:
+        print("  histogram shifts:")
+        print("\n".join(shifts))
+    return False
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(f"usage: {sys.argv[0]} A.trace.json B.trace.json")
+        return 2
+    trace_a, trace_b = load_trace(argv[0]), load_trace(argv[1])
+    runs_a, runs_b = runs_by_key(trace_a), runs_by_key(trace_b)
+    clean = True
+    identical = matched = 0
+    for key in sorted(set(runs_a) | set(runs_b)):
+        group_a = runs_a.get(key, [])
+        group_b = runs_b.get(key, [])
+        if len(group_a) != len(group_b):
+            print(f"run count differs for {key[0]} {key[1]} "
+                  f"seed={key[2]}: a has {len(group_a)}, "
+                  f"b has {len(group_b)}")
+            clean = False
+        for summary_a, summary_b in zip(group_a, group_b):
+            matched += 1
+            if diff_run(key, trace_a, trace_b, summary_a, summary_b):
+                identical += 1
+            else:
+                clean = False
+    print(f"{identical} of {matched} matched runs identical")
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
