@@ -18,6 +18,12 @@ every check is hardware-independent:
 * **Seed speedup floor** — the engine must stay >= 20% faster than
   the seed-commit event queue (the documented optimization target),
   scaled for host differences via the baseline's own speedup.
+* **Quantum coalescing floors** — on the uncontended timeslicing
+  benchmark the macro-slice fast path must fire >= 5x fewer events
+  than per-quantum slicing and finish >= 3x faster (event counts are
+  deterministic and compared exactly against the baseline; the wall
+  ratio compares the two modes within the same run, so it is
+  host-independent).
 
 The baseline defaults to the *committed* pin
 ``benchmarks/results/BENCH_baseline.json``, which only
@@ -57,6 +63,15 @@ DEFAULT_TOLERANCE = 0.15
 #: the binding constraint for tracing-related slowdowns.
 TRACING_DISABLED_BUDGET = 0.01
 NOISE_MARGIN = 0.10
+
+#: Floors for the quantum-coalescing fast path on the uncontended
+#: timeslicing benchmark (kernel_timeslicing_coalesced): the macro
+#: path must fire at least EVENT_REDUCTION_FLOOR-fold fewer events
+#: and beat per-quantum slicing by at least COALESCE_SPEEDUP_FLOOR in
+#: wall clock.  Both modes are measured in the same run, so the wall
+#: ratio is host-independent; the measured margins are ~139x and ~5x.
+COALESCE_EVENT_REDUCTION_FLOOR = 5.0
+COALESCE_SPEEDUP_FLOOR = 3.0
 
 DEFAULT_FRESH = (Path(__file__).resolve().parent
                  / "results" / "BENCH_engine.json")
@@ -115,6 +130,37 @@ def check(baseline: dict, fresh: dict,
                         / untraced["best_seconds"])
         print(f"enabled-tracing cost: {enabled_cost:.2f}x the "
               "untraced dispatch benchmark")
+
+    coalesced = fresh.get("kernel_timeslicing_coalesced")
+    if coalesced is not None:
+        events = coalesced["coalesced_events"]
+        sliced_events = coalesced["sliced_events"]
+        if not events < sliced_events:
+            failures.append(
+                f"coalescing fired {events} events vs {sliced_events} "
+                "sliced — the macro fast path never engaged")
+        if events * COALESCE_EVENT_REDUCTION_FLOOR > sliced_events:
+            failures.append(
+                f"coalescing event reduction below "
+                f"{COALESCE_EVENT_REDUCTION_FLOOR:.0f}x: "
+                f"{events} coalesced vs {sliced_events} sliced "
+                f"({sliced_events / events:.1f}x)")
+        speedup = (coalesced["sliced_best_seconds"]
+                   / coalesced["coalesced_best_seconds"])
+        print(f"coalescing: {sliced_events / events:.1f}x fewer "
+              f"events, {speedup:.1f}x faster than sliced")
+        if speedup < COALESCE_SPEEDUP_FLOOR:
+            failures.append(
+                f"coalescing speedup {speedup:.2f}x below the "
+                f"{COALESCE_SPEEDUP_FLOOR:.0f}x floor")
+        pinned = baseline.get("kernel_timeslicing_coalesced")
+        if pinned is not None:
+            for key in ("coalesced_events", "sliced_events"):
+                if pinned[key] != coalesced[key]:
+                    failures.append(
+                        f"kernel_timeslicing_coalesced {key} = "
+                        f"{coalesced[key]} vs baseline {pinned[key]} "
+                        "— simulation behaviour changed")
 
     base_speedup = baseline["event_queue"].get("speedup_vs_seed")
     fresh_speedup = fresh["event_queue"].get("speedup_vs_seed")

@@ -134,6 +134,38 @@ def _spin(cycles):
     yield Compute(cycles)
 
 
+def test_kernel_timeslicing_coalesced_throughput(benchmark):
+    """Quantum coalescing on the uncontended regime: one thread per
+    core, so every quantum boundary is a no-op the macro fast path can
+    elide.  Records both modes of the *same* workload; the regression
+    guard enforces the event-reduction and speedup floors and that the
+    two modes agree (they must be byte-identical — tested exhaustively
+    in tests/test_coalescing.py; here we only keep the counts honest).
+    """
+
+    def run_mode(coalesce):
+        system = System.build("2f-2s/8", seed=1, coalesce=coalesce)
+        for i in range(4):
+            system.kernel.spawn(SimThread(f"t{i}", _spin(2.8e9)))
+        system.run()
+        return system.sim.events_fired
+
+    coalesced_events = benchmark(lambda: run_mode(True))
+    sliced_events = run_mode(False)
+    assert coalesced_events < sliced_events
+    coalesced_best = _best_seconds(lambda: run_mode(True))
+    sliced_best = _best_seconds(lambda: run_mode(False))
+    _MEASUREMENTS["kernel_timeslicing_coalesced"] = {
+        "threads": 4,
+        "coalesced_events": coalesced_events,
+        "sliced_events": sliced_events,
+        "coalesced_best_seconds": coalesced_best,
+        "sliced_best_seconds": sliced_best,
+        "event_reduction": sliced_events / coalesced_events,
+        "speedup": sliced_best / coalesced_best,
+    }
+
+
 def test_kernel_timeslicing_traced_throughput(benchmark):
     """The same dispatch benchmark with every trace category enabled.
 

@@ -24,6 +24,7 @@ import sys
 
 from repro import faults as _faults
 from repro import metrics as _metrics
+from repro.kernel import kernel as _kernel
 from repro.sim import trace as _trace
 from repro.sim import trace_export as _trace_export
 from repro.experiments.figures import ALL_EXHIBITS
@@ -59,7 +60,8 @@ def _cmd_exhibit(name: str, profile_name: str,
                  metrics_out: str = None,
                  faults_path: str = None,
                  trace_out: str = None,
-                 trace_spec: str = None) -> int:
+                 trace_spec: str = None,
+                 no_coalesce: bool = False) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -87,6 +89,9 @@ def _cmd_exhibit(name: str, profile_name: str,
                             in sorted(schedule.counts().items()))
         print(f"fault schedule: {len(schedule)} events ({summary}) "
               f"from {faults_path}")
+    if no_coalesce:
+        _kernel.install_coalescing(False)
+        print("quantum coalescing: disabled (per-quantum slicing)")
     try:
         for exhibit in names:
             module = ALL_EXHIBITS[exhibit]
@@ -101,6 +106,8 @@ def _cmd_exhibit(name: str, profile_name: str,
             _trace.clear_default_categories()
         if faults_path is not None:
             _faults.clear_default_schedule()
+        if no_coalesce:
+            _kernel.install_coalescing(True)
     if sink is not None:
         with open(metrics_out, "w", encoding="utf-8") as handle:
             json.dump(sink.as_payload(), handle,
@@ -150,6 +157,11 @@ def main(argv=None) -> int:
                         help="comma-separated trace categories for "
                              "--trace-out (default: "
                              f"{','.join(_trace.DEFAULT_TRACE_CATEGORIES)})")
+    parser.add_argument("--no-coalesce", action="store_true",
+                        help="disable the kernel's quantum-coalescing "
+                             "fast path and simulate every timeslice "
+                             "individually (slower; results are "
+                             "byte-identical either way)")
     args = parser.parse_args(argv)
     if args.trace is not None and args.trace_out is None:
         parser.error("--trace requires --trace-out")
@@ -161,7 +173,8 @@ def main(argv=None) -> int:
                         metrics_out=args.metrics_out,
                         faults_path=args.faults,
                         trace_out=args.trace_out,
-                        trace_spec=args.trace)
+                        trace_spec=args.trace,
+                        no_coalesce=args.no_coalesce)
 
 
 if __name__ == "__main__":

@@ -28,23 +28,34 @@ class System:
     scheduler:
         Kernel scheduling policy; default is the stock
         :class:`~repro.kernel.scheduler.SymmetricScheduler`.
+    coalesce:
+        Quantum coalescing override for the kernel: ``True``/``False``
+        pin the fast path on/off, ``None`` (default) follows the
+        process-wide setting (see
+        :func:`repro.kernel.kernel.coalescing_enabled`).  Either way
+        observable behaviour is byte-identical; this only selects how
+        uncontended timeslices are executed.
     """
 
     def __init__(self, machine: Machine, seed: int = 0,
-                 scheduler: Optional[Scheduler] = None) -> None:
+                 scheduler: Optional[Scheduler] = None,
+                 coalesce: Optional[bool] = None) -> None:
         self.machine = machine
         self.sim = Simulator(seed=seed)
-        self.kernel = Kernel(self.sim, machine, scheduler)
+        self.kernel = Kernel(self.sim, machine, scheduler,
+                             coalesce=coalesce)
 
     @classmethod
     def build(cls, config: str, seed: int = 0,
-              scheduler: Optional[Scheduler] = None) -> "System":
+              scheduler: Optional[Scheduler] = None,
+              coalesce: Optional[bool] = None) -> "System":
         """Build a system from an ``nf-ms/scale`` label."""
         if isinstance(config, MachineConfig):
             machine = Machine(config)
         else:
             machine = Machine.from_label(config)
-        return cls(machine, seed=seed, scheduler=scheduler)
+        return cls(machine, seed=seed, scheduler=scheduler,
+                   coalesce=coalesce)
 
     # ------------------------------------------------------------------
     @property

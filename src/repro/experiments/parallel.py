@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro import faults as _faults
 from repro import metrics as _metrics
+from repro.kernel import kernel as _kernel
 from repro.sim import trace as _trace
 from repro.sim import trace_export as _trace_export
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
@@ -54,16 +55,19 @@ def execute_task(task: RunTask) -> RunResult:
         scheduler_factory=task.scheduler_factory)
 
 
-def _worker_init(faults_payload, trace_categories) -> None:
+def _worker_init(faults_payload, trace_categories, coalescing) -> None:
     """Replicate process-wide defaults into a pool worker.
 
-    Workers must see the same default fault schedule *and* the same
-    default trace categories as the submitting process, or a
-    ``--faults`` / ``--trace`` sweep would diverge between serial and
-    parallel execution.
+    Workers must see the same default fault schedule, the same default
+    trace categories *and* the same quantum-coalescing setting as the
+    submitting process, or a ``--faults`` / ``--trace`` /
+    ``--no-coalesce`` sweep would diverge between serial and parallel
+    execution.  (Coalescing never changes results — replicating it
+    keeps wall-clock behaviour and cache fingerprints consistent.)
     """
     _faults.install_default_payload(faults_payload)
     _trace.install_default_categories(trace_categories)
+    _kernel.install_coalescing(coalescing)
 
 
 def _stable_repr(value: object, _seen: Optional[set] = None) -> str:
@@ -129,6 +133,10 @@ def task_fingerprint(task: RunTask) -> str:
     categories = _trace.default_categories()
     if categories:
         parts.append("trace=" + ",".join(sorted(categories)))
+    # The resolved coalescing mode is folded in even though coalesced
+    # and sliced runs are byte-identical: a cache hit must never mask a
+    # divergence the identity tests are trying to catch.
+    parts.append(f"coalesce={_kernel.coalescing_enabled()}")
     parts.append(f"config={task.config}")
     parts.append(f"seed={task.seed}")
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))
@@ -250,7 +258,8 @@ class ProcessPoolBackend:
                     max_workers=self.jobs,
                     initializer=_worker_init,
                     initargs=(_faults.default_schedule_payload(),
-                              _trace.default_categories()),
+                              _trace.default_categories(),
+                              _kernel.coalescing_enabled()),
             ) as pool:
                 fresh = pool.map(execute_task,
                                  [tasks[i] for i in pending],

@@ -61,6 +61,19 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
             return stolen
         return self._pull_from_slower(core)
 
+    def preemption_horizon(self, core: Core,
+                           thread: "SimThread") -> float:
+        """Coalescing-safe like the symmetric policy.
+
+        Pull migration *does* preempt running threads, but always from
+        another core's dispatch event — it reaches this core via
+        ``Kernel.preempt_current``, which re-splits a live macro slice
+        exactly.  ``should_preempt`` itself is inherited unchanged
+        (own-runqueue check only), so quantum boundaries with an empty
+        runqueue never deschedule the thread.
+        """
+        return float("inf")
+
     # ------------------------------------------------------------------
     def _steal_victims(self, core: Core) -> List[Core]:
         """Victims ordered slowest-first, then by queue length.
@@ -149,6 +162,12 @@ class RankOnlyAsymmetryScheduler(AsymmetryAwareScheduler):
 
     def _rank(self, core) -> int:
         return self._rank_of[core.index]
+
+    def preemption_horizon(self, core, thread) -> float:
+        """Same contract as the rate-based parent: rank comparisons
+        change *which* victim a pull picks, never how preemption
+        reaches a coalesced core (always ``preempt_current``)."""
+        return float("inf")
 
     def place(self, thread):
         allowed = self._allowed_cores(thread)

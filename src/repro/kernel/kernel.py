@@ -20,9 +20,10 @@ and the event order deterministic.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from math import frexp as _frexp
-from typing import Any, Deque, Dict, Generator, List, Optional
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional
 
 from repro.errors import DeadlockError, SchedulingError, SimulationError
 from repro.histogram import BUCKET_OFFSET as _HIST_OFFSET
@@ -55,6 +56,33 @@ _Sleep = ins.Sleep
 _Lock = ins.Lock
 _Unlock = ins.Unlock
 
+# ----------------------------------------------------------------------
+# Process-wide default for the quantum-coalescing fast path (DESIGN.md
+# §9).  The CLI's --no-coalesce flag flips it via install_coalescing;
+# the REPRO_NO_COALESCE environment variable (CI's slow-path leg)
+# overrides both.  Individual kernels can still pin their own mode via
+# the ``coalesce`` constructor argument, which tests and benchmarks use
+# to compare the two executions side by side.
+# ----------------------------------------------------------------------
+_default_coalescing = True
+
+
+def install_coalescing(enabled: bool) -> None:
+    """Set the process-wide default for quantum coalescing."""
+    global _default_coalescing
+    _default_coalescing = bool(enabled)
+
+
+def coalescing_enabled() -> bool:
+    """Resolve the process-wide coalescing default.
+
+    ``REPRO_NO_COALESCE`` (any value but empty/``0``) forces the sliced
+    slow path regardless of :func:`install_coalescing`.
+    """
+    if os.environ.get("REPRO_NO_COALESCE", "0") not in ("", "0"):
+        return False
+    return _default_coalescing
+
 
 class _Slice:
     """Bookkeeping for a compute slice in progress on a core."""
@@ -76,7 +104,8 @@ class Kernel:
 
     def __init__(self, sim: Simulator, machine: Machine,
                  scheduler: Optional[Scheduler] = None,
-                 rng_stream: str = "kernel.sched") -> None:
+                 rng_stream: str = "kernel.sched",
+                 coalesce: Optional[bool] = None) -> None:
         self.sim = sim
         self.machine = machine
         self.scheduler = scheduler if scheduler is not None \
@@ -95,6 +124,23 @@ class Kernel:
         self._slices: Dict[int, _Slice] = {}
         self._dispatch_pending: Dict[int, bool] = {
             core.index: False for core in machine.cores}
+        #: Quantum-coalescing fast path (DESIGN.md §9).  None resolves
+        #: the process default; an explicit bool pins this kernel.
+        self._coalesce = coalescing_enabled() if coalesce is None \
+            else bool(coalesce)
+        #: Live macro slices by core index: True when the macro runs to
+        #: instruction completion, False when the event horizon cut it
+        #: short (the macro event re-arms at the last covered quantum
+        #: boundary).  Empty whenever coalescing is off — hot paths
+        #: guard on the dict's truthiness alone.
+        self._macros: Dict[int, bool] = {}
+        #: ``now -> earliest relevant time`` callables consulted, on
+        #: top of the simulator's event horizon, when sizing a macro
+        #: slice; fault injectors register theirs at install time.
+        self._horizon_hooks: List[Callable[[float], float]] = []
+        # Bound once so EventQueue.horizon can recognize this kernel's
+        # own slice events by callback equality.
+        self._slice_callbacks = (self._on_slice_end, self._on_macro_end)
         self.threads: List[SimThread] = []
         # Live bookkeeping so the run loop never scans self.threads:
         # counts of non-daemon threads ever spawned / not yet terminated.
@@ -147,6 +193,23 @@ class Kernel:
     def runqueue(self, core_index: int) -> Deque[SimThread]:
         """The ready queue of the given core (scheduler-visible)."""
         return self._runqueues[core_index]
+
+    @property
+    def coalescing(self) -> bool:
+        """Whether the quantum-coalescing fast path is enabled."""
+        return self._coalesce
+
+    def register_horizon_hook(
+            self, hook: Callable[[float], float]) -> None:
+        """Register an extra bound on macro-slice length.
+
+        ``hook(now)`` returns the earliest future time at which the
+        caller might disturb a core (+inf for never); macro slices are
+        sized strictly below the minimum over the event queue and all
+        registered hooks, so the disturbance always lands on a core
+        whose books are current.
+        """
+        self._horizon_hooks.append(hook)
 
     def spawn(self, thread: SimThread) -> SimThread:
         """Register and start a thread."""
@@ -239,6 +302,8 @@ class Kernel:
         """Busy fraction per core since time zero."""
         if self.sim.now <= 0:
             return {core.index: 0.0 for core in self.machine.cores}
+        if self._macros:
+            self._macro_catchup_all()
         return {core.index: core.busy_time / self.sim.now
                 for core in self.machine.cores}
 
@@ -264,6 +329,8 @@ class Kernel:
                 f"scheduler placed {thread.name!r} on forbidden core "
                 f"{core.index}")
         self._runqueues[core.index].append(thread)
+        if self._macros:
+            self._macro_split(core)
         self._request_dispatch(core)
 
     def _request_dispatch(self, core: Core) -> None:
@@ -397,6 +464,12 @@ class Kernel:
         budget = max(self.scheduler.quantum - thread.quantum_used,
                      _MIN_SLICE)
         length = min(seconds_needed, budget)
+        if (self._coalesce and seconds_needed > budget
+                and not self._runqueues[core.index]
+                and self.scheduler.preemption_horizon(core, thread)
+                == _INF
+                and self._start_macro(thread, core, length)):
+            return
         event = self.sim.schedule(length, self._on_slice_end, core)
         now = self.sim.now
         # Close the idle gap since the last slice retired here (zero
@@ -408,6 +481,262 @@ class Kernel:
             if "exec" in self._tracer_active else None
         self._slices[core.index] = _Slice(thread, now, core.rate, event,
                                           span)
+
+    # ------------------------------------------------------------------
+    # Quantum coalescing (macro slices, DESIGN.md §9)
+    # ------------------------------------------------------------------
+    # A lone compute-bound thread on an uncontended core pays one
+    # _on_slice_end event per scheduler quantum even though every
+    # boundary is a no-op (empty runqueue => retire, reset the quantum,
+    # restart in place).  When the preconditions hold — coalescing on,
+    # a multi-quantum instruction, an empty runqueue, and a scheduler
+    # that promises not to preempt spontaneously — the kernel instead
+    # replays the per-quantum float arithmetic in closed form and, if
+    # the instruction COMPLETES strictly before any other pending
+    # event ("the cap"), schedules ONE macro event at the completion
+    # time.  Because the macro window ends strictly below the cap, no
+    # foreign event can observe the core mid-window without first
+    # passing through one of the re-split hooks below, which
+    # materialize ("catch up") the skipped boundaries into the exact
+    # counters, histograms and spans the sliced kernel would have
+    # written.
+    #
+    # Why completion-only?  Event ties at equal timestamps break by
+    # schedule order (the engine's monotone seq), and the sliced
+    # kernel re-schedules each core's boundary event at the previous
+    # boundary — so at a timestamp shared by several cores' boundaries
+    # (the common case: every core dispatched at t=0 shares the
+    # quantum grid) the firing order is the stable per-boundary
+    # re-anchoring order.  A macro event is scheduled once, at arm
+    # time, so at a shared GRID timestamp it would fire with a stale
+    # (too low) seq and flip that order — observably, since same-time
+    # boundary handlers interact through runqueues and tie-break RNG.
+    # A completion timestamp, by contrast, is an odd float off the
+    # quantum grid (cycles/rate accumulation), which no other core's
+    # boundary chain lands on.  Partial windows (macro cut short by
+    # the cap) would end ON the grid, so they are simply not
+    # coalesced; the win — multi-second compute tails on uncontended
+    # cores — runs to completion anyway.
+    def _start_macro(self, thread: SimThread, core: Core,
+                     first_length: float) -> bool:
+        """Try to coalesce the upcoming quantum boundaries on ``core``.
+
+        Returns True when a macro slice was scheduled (the caller's
+        sliced path must not run); False to fall back to a normal
+        per-quantum slice.
+        """
+        now = self.sim._now
+        cap = self.sim.horizon(self._slice_callbacks)
+        for hook in self._horizon_hooks:
+            bound = hook(now)
+            if bound < cap:
+                cap = bound
+        if now + first_length >= cap:
+            return False
+        # Closed-form replay of the sliced kernel's quantum loop —
+        # float-for-float the same operations _retire_slice and
+        # _start_slice perform — to find the last boundary before the
+        # cap, and whether the instruction completes inside the window.
+        quantum = self.scheduler.quantum
+        rate = core.rate
+        t = now
+        remaining = thread.remaining_cycles
+        length = first_length
+        end = now
+        boundaries = 0
+        complete = False
+        while True:
+            t_end = t + length
+            if t_end >= cap:
+                break
+            remaining -= (t_end - t) * rate
+            if remaining < 0.0:
+                remaining = 0.0
+            end = t_end
+            boundaries += 1
+            if remaining <= _CYCLE_EPSILON:
+                complete = True
+                break
+            # Quantum boundary with an empty runqueue: quantum_used
+            # resets to zero, so the next budget is the full quantum.
+            t = t_end
+            budget = quantum if quantum > _MIN_SLICE else _MIN_SLICE
+            needed = remaining / rate
+            length = needed if needed < budget else budget
+        if not complete:
+            # The cap cuts the window short: the final boundary would
+            # land on the shared quantum grid, where the macro event's
+            # arm-time seq would fire out of order among same-time
+            # boundary events (see the block comment above).
+            return False
+        if boundaries == 0:  # pragma: no cover - caller guarantees
+            return False     # seconds_needed > budget, so >= 1 boundary
+        event = self.sim.schedule_at(end, self._on_macro_end, core)
+        core.idle_seconds += now - core.idle_since
+        span = self._tracer.span(now, "exec", thread.name,
+                                 core=core.index, thread=thread.name) \
+            if "exec" in self._tracer_active else None
+        self._slices[core.index] = _Slice(thread, now, rate, event,
+                                          span)
+        self._macros[core.index] = complete
+        return True
+
+    def _on_macro_end(self, core: Core) -> None:
+        del self._macros[core.index]
+        piece = self._slices[core.index]
+        thread = piece.thread
+        completed = self._macro_catchup(core, self.sim._now,
+                                        inclusive=True,
+                                        allow_complete=True)
+        if completed:
+            self._complete_instruction(thread, None)
+            self._process(thread, core)
+            return
+        # Defensive fallback: _start_macro only arms windows that run
+        # to completion, and the catch-up replays the same float
+        # arithmetic, so this branch is unreachable unless the two
+        # ever disagree — in which case degrade to a real slice event
+        # rather than stall the core.
+        needed = thread.remaining_cycles / piece.rate  # pragma: no cover
+        budget = max(self.scheduler.quantum - thread.quantum_used,
+                     _MIN_SLICE)  # pragma: no cover
+        length = needed if needed < budget else budget  # pragma: no cover
+        piece.event = self.sim.schedule(length, self._on_slice_end,
+                                        core)  # pragma: no cover
+
+    def _macro_catchup(self, core: Core, limit: float, inclusive: bool,
+                       allow_complete: bool) -> bool:
+        """Materialize a live macro slice's synthetic boundaries.
+
+        Books every skipped quantum boundary up to ``limit`` (strictly
+        before it unless ``inclusive``) into the same counters,
+        histograms and exec spans — the same floats in the same order —
+        the sliced kernel would have written, leaving the open slice
+        anchored at the last booked boundary.  Returns True when the
+        final, instruction-completing boundary was booked (only
+        possible for the macro's own end event, which passes
+        ``allow_complete``); the slice record is popped in that case
+        and the caller completes the instruction.
+        """
+        piece = self._slices[core.index]
+        thread = piece.thread
+        rate = piece.rate
+        index = core.index
+        quantum = self.scheduler.quantum
+        t = piece.start
+        remaining = thread.remaining_cycles
+        used = thread.quantum_used
+        booked = False
+        completed = False
+        while True:
+            needed = remaining / rate
+            budget = quantum - used
+            if budget < _MIN_SLICE:
+                budget = _MIN_SLICE
+            length = needed if needed < budget else budget
+            t_end = t + length
+            if t_end > limit or (t_end == limit and not inclusive):
+                break
+            elapsed = t_end - t
+            cycles = elapsed * rate
+            after = remaining - cycles
+            if after < 0.0:
+                after = 0.0
+            completing = after <= _CYCLE_EPSILON
+            if completing and not allow_complete:
+                break
+            # Book the boundary exactly as _retire_slice would have.
+            remaining = after
+            thread.account_execution(index, elapsed, cycles)
+            used += elapsed
+            core.busy_time += elapsed
+            core.busy_cycles += cycles
+            core.idle_since = t_end
+            if piece.span is not None:
+                piece.span.end(t_end)
+            if elapsed > 0.0:
+                if elapsed != self._slice_memo_val:
+                    self._slice_memo_val = elapsed
+                    self._slice_memo_key = (_frexp(elapsed)[1]
+                                            + _HIST_OFFSET)
+                self._hb_slice[self._slice_memo_key] += 1
+            else:
+                self._slice_zeros += 1
+            booked = True
+            t = t_end
+            if completing:
+                completed = True
+                break
+            # Quantum expiry with an empty runqueue: the sliced kernel
+            # resets the quantum and restarts the slice in place.
+            used = 0.0
+            piece.span = self._tracer.span(
+                t_end, "exec", thread.name, core=index,
+                thread=thread.name) \
+                if "exec" in self._tracer_active else None
+        if booked:
+            thread.remaining_cycles = remaining
+            thread.quantum_used = used
+            thread.last_ran_at = t
+            piece.start = t
+        if completed:
+            del self._slices[index]
+        return completed
+
+    def _macro_catchup_all(self) -> None:
+        """Bring every coalesced core's books up to the current clock.
+
+        Observation entry point (metrics snapshots, trace export, core
+        utilization).  Idempotent; boundaries exactly at ``now`` are
+        included because a paused run (``run(until=...)``) has already
+        fired every event at ``now`` — a sliced kernel would have
+        retired those boundaries too.
+        """
+        if not self._macros:
+            return
+        cores = self.machine.cores
+        now = self.sim._now
+        for index in list(self._macros):
+            self._macro_catchup(cores[index], now, inclusive=True,
+                                allow_complete=False)
+
+    def _macro_absorb(self, core: Core) -> None:
+        """Re-split a live macro slice at an external interruption.
+
+        Called on entry to every path that retires a partial slice
+        (pull preemption, reprogramming, hot-unplug, stall): books all
+        boundaries strictly before ``now`` and dissolves the macro, so
+        the caller's ordinary cancel + ``_retire_slice`` sequence then
+        accounts the final partial slice — landing the interruption on
+        the identical cycle sliced execution would have.
+        """
+        if self._macros.pop(core.index, None) is not None:
+            self._macro_catchup(core, self.sim._now, inclusive=False,
+                                allow_complete=False)
+
+    def _macro_split(self, core: Core) -> None:
+        """A thread landed on a coalesced core's runqueue: restore the
+        scheduler's per-quantum preemption points.
+
+        Books boundaries strictly before ``now`` and replaces the macro
+        event with a real slice event at the next boundary (which may
+        be ``now`` itself: a wakeup landing exactly on a boundary float
+        still sees that boundary's slice event pending, as it would
+        under sliced execution).
+        """
+        if self._macros.pop(core.index, None) is None:
+            return
+        self._macro_catchup(core, self.sim._now, inclusive=False,
+                            allow_complete=False)
+        piece = self._slices[core.index]
+        self.sim.cancel(piece.event)
+        thread = piece.thread
+        needed = thread.remaining_cycles / piece.rate
+        budget = max(self.scheduler.quantum - thread.quantum_used,
+                     _MIN_SLICE)
+        length = needed if needed < budget else budget
+        piece.event = self.sim.schedule_at(piece.start + length,
+                                           self._on_slice_end, core)
 
     def _requeue(self, thread: SimThread, core: Core) -> None:
         """Put the running thread at the back of its core's queue."""
@@ -472,6 +801,8 @@ class Kernel:
         if core.current_thread is None:
             raise SchedulingError(
                 f"preempt_current on idle core {core.index}")
+        if self._macros:
+            self._macro_absorb(core)
         piece = self._slices.get(core.index)
         if piece is not None:
             self.sim.cancel(piece.event)
@@ -508,6 +839,8 @@ class Kernel:
         exact across the speed step.  The per-duty time-at-speed books
         on the core are closed out at the same instant.
         """
+        if self._macros:
+            self._macro_absorb(core)
         piece = self._slices.get(core.index)
         thread = None
         if piece is not None:
@@ -545,6 +878,8 @@ class Kernel:
         core.online = False
         tracer = self.sim.tracer
         if core.current_thread is not None:
+            if self._macros:
+                self._macro_absorb(core)
             piece = self._slices.get(core.index)
             if piece is None:  # pragma: no cover - invariant guard
                 raise SchedulingError(
@@ -590,6 +925,8 @@ class Kernel:
                 f"stall duration must be positive, got {seconds}")
         if core.current_thread is None:
             return False
+        if self._macros:
+            self._macro_absorb(core)
         piece = self._slices.get(core.index)
         if piece is None:  # pragma: no cover - invariant guard
             raise SchedulingError(

@@ -68,6 +68,21 @@ class Scheduler:
         """Preempt ``thread`` at quantum expiry on ``core``?"""
         raise NotImplementedError
 
+    def preemption_horizon(self, core: Core,
+                           thread: "SimThread") -> float:
+        """Earliest time this policy might preempt ``thread`` on its
+        own initiative, assuming no further events touch the core.
+
+        ``inf`` promises that :meth:`should_preempt` stays False at
+        every quantum boundary while ``core``'s runqueue remains empty
+        — the contract the kernel's quantum-coalescing fast path needs
+        before replacing per-quantum slice events with one closed-form
+        macro slice.  The base policy answers 0.0 ("now / unknown"),
+        which simply disables coalescing for subclasses that have not
+        audited their ``should_preempt`` against the contract.
+        """
+        return 0.0
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
@@ -160,6 +175,14 @@ class SymmetricScheduler(Scheduler):
 
     def should_preempt(self, core: Core, thread: "SimThread") -> bool:
         return len(self.kernel.runqueue(core.index)) > 0
+
+    def preemption_horizon(self, core: Core,
+                           thread: "SimThread") -> float:
+        """Never preempts spontaneously: :meth:`should_preempt` only
+        consults the core's own runqueue, and a thread can land there
+        only through an event the kernel's coalescing machinery
+        already re-splits on (wakeup, spawn, fault drain)."""
+        return float("inf")
 
     # ------------------------------------------------------------------
     def _steal_victims(self, core: Core) -> List[Core]:

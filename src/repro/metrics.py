@@ -428,12 +428,15 @@ class MetricsCollector:
     def snapshot(self, kernel) -> RunMetrics:
         """Fold the live counters into a :class:`RunMetrics`.
 
-        In-flight compute slices are accounted as busy up to ``now``
-        (without mutating kernel state), so a snapshot taken at a
-        measurement horizon — while daemon threads still run — still
-        conserves cycles.
+        Coalesced macro slices are first caught up to ``now`` (booking
+        exactly the boundaries a sliced run would already have booked
+        — observationally this is not a perturbation), then in-flight
+        compute slices are accounted as busy up to ``now``, so a
+        snapshot taken at a measurement horizon — while daemon threads
+        still run — still conserves cycles.
         """
         machine = self.machine
+        kernel._macro_catchup_all()
         now = kernel.sim.now
         fastest = machine.fastest_rate
         slices = kernel._slices

@@ -112,6 +112,16 @@ class Simulator:
         """Time of the next live event, or None if the queue is empty."""
         return self._queue.peek_time()
 
+    def horizon(self, skip_callbacks: tuple = ()) -> float:
+        """Time of the next live event, or +inf when none is pending.
+
+        ``skip_callbacks`` is forwarded to
+        :meth:`~repro.sim.events.EventQueue.horizon`; the kernel uses
+        it to look past its own compute-slice events when sizing a
+        coalesced macro slice.
+        """
+        return self._queue.horizon(skip_callbacks)
+
     def advance_to(self, time: float) -> None:
         """Move the clock forward without executing events.
 

@@ -204,3 +204,33 @@ class EventQueue:
                 continue
             return entry[0]
         return None
+
+    def horizon(self, skip_callbacks: tuple = ()) -> float:
+        """Earliest live event time, or +inf when the queue is empty.
+
+        ``skip_callbacks`` names callbacks whose events are ignored —
+        the kernel's quantum-coalescing fast path excludes its own
+        slice/macro-slice events when asking "when does the next event
+        *someone else* scheduled fire?".  Without skips this is
+        :meth:`peek_time` (O(1)); with skips the whole heap is scanned
+        (callers only pay this when they are about to replace many
+        events with one, so the scan amortizes).
+        """
+        if not skip_callbacks:
+            time = self.peek_time()
+            return float("inf") if time is None else time
+        best = float("inf")
+        for entry in self._heap:
+            if entry[0] >= best:
+                continue
+            if len(entry) == 3:
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                callback = event.callback
+            else:
+                callback = entry[2]
+            if callback in skip_callbacks:
+                continue
+            best = entry[0]
+        return best

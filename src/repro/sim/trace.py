@@ -293,8 +293,13 @@ class Tracer:
     def spans(self, category: Optional[str] = None) -> List[SpanRecord]:
         """All retained completed spans, optionally by category.
 
-        Order is completion (``end``) order, which is deterministic
-        simulation order.
+        Order is retention order — deterministic for a given execution
+        mode, but *not* an invariant across modes: the kernel's
+        quantum-coalescing catch-up retains a core's skipped exec spans
+        in a burst, so cross-core interleaving can differ from sliced
+        execution.  Consumers that compare spans across runs must sort
+        by content (see ``trace_export._span_sort_key``); per-core and
+        aggregate views are unaffected.
         """
         if category is None:
             return list(self._spans)

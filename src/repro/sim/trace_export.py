@@ -35,6 +35,19 @@ from repro.sim.trace import SpanRecord, TraceRecord
 _US = 1e6
 
 
+def _span_sort_key(span: SpanRecord):
+    """Canonical, mode-independent ordering for exported spans.
+
+    Pure content — no retention-order input — so two runs retaining
+    the same span *multiset* (e.g. coalesced vs per-quantum execution)
+    export identical lists.  Leading with ``end`` keeps the order
+    close to the tracer's natural completion order.
+    """
+    return (span.end, span.start, span.category, span.name,
+            span.core if span.core is not None else -1,
+            span.thread or "", repr(span.details))
+
+
 @dataclass
 class TraceData:
     """The exportable timeline of one run: spans + records + topology.
@@ -51,16 +64,29 @@ class TraceData:
 
     @classmethod
     def from_system(cls, system) -> "TraceData":
-        """Capture the tracer's retained timeline from a run system."""
+        """Capture the tracer's retained timeline from a run system.
+
+        Any live coalesced macro slices are materialized first so the
+        export carries exactly the spans a sliced run retains, and the
+        span list is put into a canonical content order: the kernel's
+        macro-slice catch-up retains a core's skipped exec spans in a
+        burst, so the tracer's raw retention order is the one
+        observable (and meaningless) difference between the coalesced
+        and sliced executions.  Sorting by content in *both* modes
+        keeps exports byte-identical.
+        """
         machine = system.machine
         fastest = machine.fastest_rate
         labels = [
             f"cpu{core.index} "
             f"({'fast' if core.rate == fastest else 'slow'})"
             for core in machine.cores]
+        kernel = getattr(system, "kernel", None)
+        if kernel is not None:
+            kernel._macro_catchup_all()
         tracer = system.sim.tracer
         return cls(core_labels=labels, records=tracer.records(),
-                   spans=tracer.spans())
+                   spans=sorted(tracer.spans(), key=_span_sort_key))
 
     @property
     def n_cores(self) -> int:

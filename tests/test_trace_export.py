@@ -20,6 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
 import check_trace_schema  # noqa: E402
+import trace_diff  # noqa: E402
 
 
 @pytest.fixture
@@ -122,6 +123,39 @@ class TestDeterminism:
         finally:
             _trace.clear_default_categories()
         assert traced != untraced
+
+
+class TestTraceDiff:
+    def _export(self, tmp_path, name, trace):
+        path = tmp_path / name
+        path.write_text(trace_export.trace_to_json(trace) + "\n",
+                        encoding="utf-8")
+        return str(path)
+
+    def test_identical_traces_exit_zero(self, default_tracing,
+                                        tmp_path, capsys):
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        a = self._export(tmp_path, "a.json", trace)
+        b = self._export(tmp_path, "b.json", trace)
+        assert trace_diff.main([a, b]) == 0
+        assert "1 of 1 matched runs identical" in capsys.readouterr().out
+
+    def test_histogram_only_divergence_exits_nonzero(
+            self, default_tracing, tmp_path, capsys):
+        """Identical event streams must not mask a histogram drift."""
+        result = _workload().run_once("2f-2s/8", seed=3)
+        trace = trace_export.chrome_trace([result])
+        a = self._export(tmp_path, "a.json", trace)
+        drifted = json.loads(trace_export.trace_to_json(trace))
+        histograms = drifted["otherData"]["runs"][0]["histograms"]
+        shifted = histograms["sched_latency_seconds"]
+        shifted["zeros"] = shifted.get("zeros", 0) + 1
+        b = self._export(tmp_path, "b.json", drifted)
+        assert trace_diff.main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "event streams identical but histograms differ" in out
+        assert "sched_latency_seconds" in out
 
 
 class TestTraceSink:

@@ -18,8 +18,10 @@ may differ).  For every matched run it reports:
 * **histogram shifts**: count/mean/p95 movement of each latency
   histogram embedded in the trace's ``otherData`` summary.
 
-Exit status: 0 when every matched run is identical and both files
-contain the same runs, 1 otherwise.  Stdlib only.
+Exit status: 0 when every matched run is identical (event streams AND
+embedded histograms) and both files contain the same runs, 1
+otherwise — a histogram-only divergence fails the comparison even
+when the timelines agree.  Stdlib only.
 """
 
 from __future__ import annotations
@@ -168,8 +170,18 @@ def diff_run(key: RunKey, trace_a: Dict[str, Any],
     workload, config, seed = key
     title = f"{workload} {config} seed={seed}"
     index = first_divergence(events_a, events_b)
+    shifts = diff_histograms(summary_a.get("histograms", {}),
+                             summary_b.get("histograms", {}))
     if index is None:
-        return True
+        if not shifts:
+            return True
+        # The timelines agree but the embedded run summaries do not:
+        # a histogram-only divergence (e.g. an extra zero-length
+        # sample) must fail the comparison, not slip through.
+        print(f"== {title}")
+        print("  event streams identical but histograms differ:")
+        print("\n".join(shifts))
+        return False
     print(f"== {title}")
     print(f"  first divergence at event #{index} "
           f"(a has {len(events_a)} events, b has {len(events_b)}):")
@@ -189,8 +201,6 @@ def diff_run(key: RunKey, trace_a: Dict[str, Any],
                 else f"  ({right_busy - left_busy:+.6f})"
             print(f"    {label}: {left_busy:.6f} -> "
                   f"{right_busy:.6f}{marker}")
-    shifts = diff_histograms(summary_a.get("histograms", {}),
-                             summary_b.get("histograms", {}))
     if shifts:
         print("  histogram shifts:")
         print("\n".join(shifts))
