@@ -166,33 +166,74 @@ def test_kernel_timeslicing_coalesced_throughput(benchmark):
     }
 
 
+def test_kernel_timeslicing_contended_throughput(benchmark):
+    """Rotation coalescing on the contended regime (DESIGN.md §10):
+    eight pinned spinners per core, so every core's runqueue stays
+    deep and the rotation macro can replace a full round-robin
+    rotation of quantum boundaries with one event.  Pinning removes
+    migrations and speed-scaling the work keeps all cores contended
+    for the same simulated time — steady-state rotations end to end.
+    The regression guard enforces the contended event-reduction and
+    wall floors; byte-identity of the two modes is tested
+    exhaustively in tests/test_rotation_coalescing.py.
+    """
+
+    def run_mode(coalesce):
+        system = System.build("2f-2s/8", seed=1, coalesce=coalesce)
+        for core in system.machine.cores:
+            for slot in range(8):
+                system.kernel.spawn(SimThread(
+                    f"c{core.index}t{slot}", _spin(core.rate * 2.0),
+                    affinity=frozenset([core.index])))
+        system.run()
+        return system.sim.events_fired
+
+    coalesced_events = benchmark(lambda: run_mode(True))
+    sliced_events = run_mode(False)
+    assert coalesced_events < sliced_events
+    coalesced_best = _best_seconds(lambda: run_mode(True))
+    sliced_best = _best_seconds(lambda: run_mode(False))
+    _MEASUREMENTS["kernel_timeslicing_contended"] = {
+        "threads_per_core": 8,
+        "coalesced_events": coalesced_events,
+        "sliced_events": sliced_events,
+        "coalesced_best_seconds": coalesced_best,
+        "sliced_best_seconds": sliced_best,
+        "event_reduction": sliced_events / coalesced_events,
+        "speedup": sliced_best / coalesced_best,
+    }
+
+
 def test_kernel_timeslicing_traced_throughput(benchmark):
     """The same dispatch benchmark with every trace category enabled.
 
     Pins two properties of the span layer: tracing schedules **no**
-    events (the count matches the untraced benchmark exactly — checked
-    here and again by ``check_engine_regression.py``), and the
-    enabled-tracing cost is measured so the overhead table in
+    events of its own — the count matches the *sliced* schedule
+    exactly (the ``"sched"`` category disarms rotation macros, see
+    DESIGN.md §10, so the sliced run is the like-for-like reference;
+    checked here and again by ``check_engine_regression.py``) — and
+    the enabled-tracing cost is measured so the overhead table in
     DESIGN.md §8 stays honest.
     """
     from repro.sim.trace import DEFAULT_TRACE_CATEGORIES
 
-    def run():
-        system = System.build("2f-2s/8", seed=1)
-        system.sim.tracer.enable(*DEFAULT_TRACE_CATEGORIES)
+    def run(traced=True, coalesce=True):
+        system = System.build("2f-2s/8", seed=1, coalesce=coalesce)
+        if traced:
+            system.sim.tracer.enable(*DEFAULT_TRACE_CATEGORIES)
         for i in range(8):
             system.kernel.spawn(SimThread(f"t{i}", _spin(2.8e9)))
         system.run()
         return system.sim.events_fired
 
     fired = benchmark(run)
-    untraced = _MEASUREMENTS.get("kernel_timeslicing")
-    if untraced is not None:
-        assert fired == untraced["events"], \
-            "enabling tracing changed the event count"
+    sliced_reference = run(traced=False, coalesce=False)
+    assert fired == sliced_reference, \
+        "tracing scheduled events beyond the sliced schedule"
     best = _best_seconds(run, repeats=5)
     _MEASUREMENTS["kernel_timeslicing_traced"] = {
         "events": fired,
+        "sliced_reference_events": sliced_reference,
         "best_seconds": best,
         "events_per_sec": fired / best,
         "categories": sorted(DEFAULT_TRACE_CATEGORIES),

@@ -9,6 +9,7 @@ Usage::
     python -m repro all --jobs 4          # fan runs out over 4 workers
     python -m repro validate              # machine self-check
     python -m repro fig01 --trace-out t.json   # Perfetto timeline
+    python -m repro sweep --workload tpch --predict  # analytic sweep
 
 ``--jobs N`` parallelizes the independent simulation runs over N
 worker processes; results are bit-identical to a serial run.
@@ -41,6 +42,64 @@ def _cmd_list() -> int:
     for name, module in ALL_EXHIBITS.items():
         summary = (module.__doc__ or "").strip().splitlines()[0]
         print(f"  {name:8s} {summary}")
+    return 0
+
+
+_SWEEP_WORKLOADS = ("specjbb", "tpch")
+
+
+def _sweep_workload(name: str, profile):
+    """Build the named workload at the profile's scale."""
+    if name == "specjbb":
+        from repro.workloads.specjbb import SpecJBB
+        return SpecJBB(warehouses=profile.specjbb_warehouses,
+                       measurement_seconds=profile.specjbb_measurement)
+    from repro.workloads.tpch.workload import TpchPowerRun
+    return TpchPowerRun(parallel_degree=4, optimization_degree=7,
+                        queries=list(profile.tpch_queries))
+
+
+def _cmd_sweep(workload_name: str, profile_name: str, predict: bool,
+               jobs: int = 0, spot_checks: int = 1,
+               tolerance: float = 0.10) -> int:
+    """Run (or analytically predict) one workload's config sweep."""
+    from repro.experiments.report import format_sweep, format_table
+    from repro.experiments.runner import Runner
+
+    profile = get_profile(profile_name)
+    workload = _sweep_workload(workload_name, profile)
+    runner = Runner(runs=profile.runs, jobs=jobs)
+    if not predict:
+        print(format_sweep(runner.run(workload)))
+        return 0
+    prediction = runner.predict_sweep(workload,
+                                      spot_checks=spot_checks,
+                                      tolerance=tolerance)
+    fit = prediction.fit
+    total = len(prediction.configs)
+    print(f"{prediction.workload} — {prediction.primary_metric} "
+          f"(USL analytic sweep; DESIGN.md §10)")
+    print(f"fit: gamma={fit.gamma:.4g} sigma={fit.sigma:.4g} "
+          f"kappa={fit.kappa:.4g} R^2={fit.r_squared:.4f}")
+    spot = {check.config: check for check in prediction.spot_checks}
+    rows = []
+    for label, value in prediction.means().items():
+        if label in prediction.measured:
+            source = "simulated (anchor)"
+        elif label in spot:
+            check = spot[label]
+            source = (f"predicted (spot-check: "
+                      f"{check.relative_error:.1%} error)")
+        else:
+            source = "predicted"
+        rows.append([label, f"{value:.2f}", source])
+    print(format_table(["config", prediction.primary_metric,
+                        "source"], rows))
+    print(f"simulated {len(prediction.simulated_configs)} of {total} "
+          f"configurations ({len(prediction.anchors)} anchors + "
+          f"{len(prediction.spot_checks)} spot checks); gate "
+          f"tolerance {prediction.tolerance:.1%}, worst spot error "
+          f"{prediction.max_spot_error:.1%}")
     return 0
 
 
@@ -131,7 +190,29 @@ def main(argv=None) -> int:
                     "paper reproduction.")
     parser.add_argument("exhibit",
                         help="exhibit name (fig01..fig10, table1), "
-                             "'all', 'list', or 'validate'")
+                             "'all', 'list', 'validate', or 'sweep' "
+                             "(one workload's config sweep; see "
+                             "--workload/--predict)")
+    parser.add_argument("--workload", default="specjbb",
+                        choices=_SWEEP_WORKLOADS,
+                        help="workload for the 'sweep' command "
+                             "(default: specjbb)")
+    parser.add_argument("--predict", action="store_true",
+                        help="with 'sweep': simulate only the USL "
+                             "anchor configurations and interpolate "
+                             "the rest (repro.analysis.usl), "
+                             "spot-checking the model against "
+                             "--spot-checks real simulations")
+    parser.add_argument("--spot-checks", type=int, default=1,
+                        metavar="K",
+                        help="predicted configurations to "
+                             "spot-simulate as a validation gate "
+                             "(default: 1; 0 disables the gate)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        metavar="FRAC",
+                        help="maximum relative error a spot check "
+                             "may show before the prediction gate "
+                             "fails (default: 0.10)")
     parser.add_argument("--profile", default="quick",
                         choices=("quick", "paper"),
                         help="experiment scale (default: quick)")
@@ -169,6 +250,11 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
+    if args.exhibit == "sweep":
+        return _cmd_sweep(args.workload, args.profile, args.predict,
+                          jobs=args.jobs,
+                          spot_checks=args.spot_checks,
+                          tolerance=args.tolerance)
     return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
                         metrics_out=args.metrics_out,
                         faults_path=args.faults,

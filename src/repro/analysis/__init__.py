@@ -1,4 +1,4 @@
-"""Statistics, classification (Table 1) and the Amdahl model."""
+"""Statistics, classification (Table 1), Amdahl and USL models."""
 
 from repro.analysis.amdahl import (
     asymmetric_advantage,
@@ -19,6 +19,12 @@ from repro.analysis.stats import (
     speedup_over,
     summarize,
 )
+from repro.analysis.usl import (
+    UslFit,
+    compute_power,
+    fit_usl,
+    scaling_axis,
+)
 
 __all__ = [
     "Summary",
@@ -34,4 +40,8 @@ __all__ = [
     "execution_time",
     "speedup",
     "asymmetric_advantage",
+    "UslFit",
+    "fit_usl",
+    "compute_power",
+    "scaling_axis",
 ]

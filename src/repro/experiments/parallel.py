@@ -46,6 +46,11 @@ class RunTask:
     config: str
     seed: int
     scheduler_factory: Optional[SchedulerFactory] = None
+    #: True for a task whose result was produced analytically (USL
+    #: interpolation in ``Runner.predict_sweep``) rather than by
+    #: simulation.  Folded into the cache fingerprint so a predicted
+    #: value can never be served where a simulation was requested.
+    predicted: bool = False
 
 
 def execute_task(task: RunTask) -> RunResult:
@@ -137,6 +142,11 @@ def task_fingerprint(task: RunTask) -> str:
     # and sliced runs are byte-identical: a cache hit must never mask a
     # divergence the identity tests are trying to catch.
     parts.append(f"coalesce={_kernel.coalescing_enabled()}")
+    if task.predicted:
+        # Analytic (USL-interpolated) results live in a disjoint key
+        # space from simulated ones: a cache warmed by predict_sweep
+        # must never satisfy a full-sweep lookup with a model output.
+        parts.append("predicted=True")
     parts.append(f"config={task.config}")
     parts.append(f"seed={task.seed}")
     digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))

@@ -90,7 +90,10 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
 
     def _steal(self, core: Core) -> Optional["SimThread"]:
         for victim in self._steal_victims(core):
-            queue = self.kernel.runqueue(victim.index)
+            # Materialized read: the affinity scan inspects queue
+            # contents, which lag behind reality on a
+            # rotation-coalesced core.
+            queue = self.kernel.materialized_runqueue(victim.index)
             for position in range(len(queue) - 1, -1, -1):
                 thread = queue[position]
                 if thread.allowed_on(core.index):
@@ -101,14 +104,19 @@ class AsymmetryAwareScheduler(SymmetricScheduler):
 
     def _pull_from_slower(self, core: Core) -> Optional["SimThread"]:
         """Yank the running thread off the slowest strictly-slower core."""
-        candidates = [
-            victim for victim in self.kernel.machine.cores
-            if victim is not core
-            and victim.online
-            and victim.rate < core.rate
-            and victim.current_thread is not None
-            and victim.current_thread.allowed_on(core.index)
-        ]
+        kernel = self.kernel
+        candidates = []
+        for victim in kernel.machine.cores:
+            if victim is core or not victim.online \
+                    or victim.rate >= core.rate:
+                continue
+            # Materialized read: ``current_thread`` on a
+            # rotation-coalesced core is the arm-time runner, not the
+            # thread truly running now.
+            kernel.materialized_runqueue(victim.index)
+            running = victim.current_thread
+            if running is not None and running.allowed_on(core.index):
+                candidates.append(victim)
         if not candidates:
             return None
         victim = min(candidates, key=lambda v: v.rate)
@@ -189,14 +197,16 @@ class RankOnlyAsymmetryScheduler(AsymmetryAwareScheduler):
         return victims
 
     def _pull_from_slower(self, core):
-        candidates = [
-            victim for victim in self.kernel.machine.cores
-            if victim is not core
-            and victim.online
-            and self._rank(victim) > self._rank(core)
-            and victim.current_thread is not None
-            and victim.current_thread.allowed_on(core.index)
-        ]
+        kernel = self.kernel
+        candidates = []
+        for victim in kernel.machine.cores:
+            if victim is core or not victim.online \
+                    or self._rank(victim) <= self._rank(core):
+                continue
+            kernel.materialized_runqueue(victim.index)
+            running = victim.current_thread
+            if running is not None and running.allowed_on(core.index):
+                candidates.append(victim)
         if not candidates:
             return None
         victim = max(candidates, key=self._rank)

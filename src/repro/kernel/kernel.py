@@ -49,6 +49,13 @@ _MIN_SLICE = 1e-6
 
 _INF = float("inf")
 
+#: Kinds of live macro slice (values of ``Kernel._macros``).  A LONE
+#: macro coalesces an uncontended core's quantum boundaries to
+#: instruction completion (DESIGN.md §9); a ROTATION macro coalesces
+#: one full round-robin rotation of a contended core (DESIGN.md §10).
+_MACRO_LONE = "lone"
+_MACRO_ROTATION = "rotation"
+
 # The dispatch loop tests instruction types millions of times per run;
 # module-level aliases avoid re-resolving the attribute each check.
 _Compute = ins.Compute
@@ -128,19 +135,36 @@ class Kernel:
         #: the process default; an explicit bool pins this kernel.
         self._coalesce = coalescing_enabled() if coalesce is None \
             else bool(coalesce)
-        #: Live macro slices by core index: True when the macro runs to
-        #: instruction completion, False when the event horizon cut it
-        #: short (the macro event re-arms at the last covered quantum
-        #: boundary).  Empty whenever coalescing is off — hot paths
-        #: guard on the dict's truthiness alone.
-        self._macros: Dict[int, bool] = {}
+        #: Live macro slices by core index, tagged with their kind
+        #: (``_MACRO_LONE`` or ``_MACRO_ROTATION``) so the re-split
+        #: machinery can dispatch to the right catch-up.  Empty whenever
+        #: coalescing is off — hot paths guard on the dict's truthiness
+        #: alone.
+        self._macros: Dict[int, str] = {}
         #: ``now -> earliest relevant time`` callables consulted, on
         #: top of the simulator's event horizon, when sizing a macro
         #: slice; fault injectors register theirs at install time.
         self._horizon_hooks: List[Callable[[float], float]] = []
         # Bound once so EventQueue.horizon can recognize this kernel's
         # own slice events by callback equality.
-        self._slice_callbacks = (self._on_slice_end, self._on_macro_end)
+        self._slice_callbacks = (self._on_slice_end, self._on_macro_end,
+                                 self._on_rotation_end)
+        # Rotation arming additionally skips pending zero-delay
+        # dispatch events: a dispatch only ever fires at the instant it
+        # was scheduled, and any cross-core interaction it performs
+        # (steal, pull) reaches a coalesced core through the
+        # materialization hooks, which re-split exactly.
+        self._rotation_skip = self._slice_callbacks \
+            + (self._do_dispatch,)
+        # Position of the engine's same-instant group sweep: the core
+        # whose boundary event is (or was last) being processed at
+        # ``_sweep_time``.  At a timestamp shared by several cores'
+        # boundaries the engine fires them in core order, so a split
+        # of core V's macro requested from core R's processing must
+        # replay a boundary landing *exactly at now* iff V < R — under
+        # sliced execution that boundary's event has already fired.
+        self._sweep_time = -1.0
+        self._sweep_group = -1
         self.threads: List[SimThread] = []
         # Live bookkeeping so the run loop never scans self.threads:
         # counts of non-daemon threads ever spawned / not yet terminated.
@@ -165,9 +189,12 @@ class Kernel:
         # LatencyHistogram objects on RunMetrics.histograms.
         #: Ready-to-dispatch wait per dispatch ("sched_latency_seconds").
         #: Zero waits (the common idle-dispatch case) are not counted
-        #: inline: zeros == context_switches - sum of buckets.
+        #: inline: zeros == context_switches - sum of buckets.  The
+        #: value total lives per core (``Core.lat_total``) so rotation
+        #: catch-up, which books one core's waits in a batch, adds the
+        #: same floats in the same order as the sliced kernel; the
+        #: snapshot sums the cores in index order.
         self._hb_latency: List[int] = bucket_array()
-        self._lat_total = 0.0
         self._lat_memo_val = -1.0
         self._lat_memo_key = 0
         #: Retired compute slice lengths ("slice_seconds").  The value
@@ -192,6 +219,23 @@ class Kernel:
 
     def runqueue(self, core_index: int) -> Deque[SimThread]:
         """The ready queue of the given core (scheduler-visible)."""
+        return self._runqueues[core_index]
+
+    def materialized_runqueue(self, core_index: int) -> Deque[SimThread]:
+        """The ready queue with any live rotation macro split first.
+
+        During a rotation-macro window the queue's *length* is exact (a
+        full boundary appends one thread and pops one) but its contents
+        and the threads' ``last_ran_at``/``ready_at`` books lag behind
+        the boundaries the macro has elided.  Schedulers must read
+        queues through this accessor wherever they inspect *contents*
+        (steal scans, pull-victim checks); splitting re-plays the
+        elided boundaries exactly and converts the remainder of the
+        window to ordinary per-quantum slicing.  Length-only reads
+        (load balancing) may keep using :meth:`runqueue`.
+        """
+        if self._macros.get(core_index) is _MACRO_ROTATION:
+            self._macro_split(self.machine.cores[core_index])
         return self._runqueues[core_index]
 
     @property
@@ -328,9 +372,13 @@ class Kernel:
             raise SchedulingError(
                 f"scheduler placed {thread.name!r} on forbidden core "
                 f"{core.index}")
-        self._runqueues[core.index].append(thread)
+        # Split BEFORE appending: a rotation macro's catch-up replays
+        # requeue/dispatch pairs against the live queue, so the waking
+        # thread must not be visible until the books are current.  (A
+        # lone macro never reads the queue, so the order is free there.)
         if self._macros:
             self._macro_split(core)
+        self._runqueues[core.index].append(thread)
         self._request_dispatch(core)
 
     def _request_dispatch(self, core: Core) -> None:
@@ -339,6 +387,11 @@ class Kernel:
         if self._dispatch_pending[core.index]:
             return
         self._dispatch_pending[core.index] = True
+        # Dispatches stay in the default event group: at a shared
+        # instant they fire in *request* order (a releaser waking two
+        # threads dispatches them FIFO even across cores), yet still
+        # after their own core's boundary when that boundary requested
+        # them — the group only reorders events of different groups.
         self.sim.schedule_fast(0.0, self._do_dispatch, core)
 
     def _do_dispatch(self, core: Core) -> None:
@@ -385,7 +438,7 @@ class Kernel:
                 self._lat_memo_val = wait
                 self._lat_memo_key = _frexp(wait)[1] + _HIST_OFFSET
             self._hb_latency[self._lat_memo_key] += 1
-            self._lat_total += wait
+            core.lat_total += wait
         thread.state = ThreadState.RUNNING
         core.current_thread = thread
         self.context_switches += 1
@@ -464,13 +517,18 @@ class Kernel:
         budget = max(self.scheduler.quantum - thread.quantum_used,
                      _MIN_SLICE)
         length = min(seconds_needed, budget)
-        if (self._coalesce and seconds_needed > budget
-                and not self._runqueues[core.index]
-                and self.scheduler.preemption_horizon(core, thread)
-                == _INF
-                and self._start_macro(thread, core, length)):
-            return
-        event = self.sim.schedule(length, self._on_slice_end, core)
+        if self._coalesce and seconds_needed > budget:
+            if not self._runqueues[core.index]:
+                if (self.scheduler.preemption_horizon(core, thread)
+                        == _INF
+                        and self._start_macro(thread, core, length)):
+                    return
+            elif (self.scheduler.rotation_audit
+                    and "sched" not in self._tracer_active
+                    and self._start_rotation(thread, core, length)):
+                return
+        event = self.sim.schedule(length, self._on_slice_end, core,
+                                  group=core.index)
         now = self.sim.now
         # Close the idle gap since the last slice retired here (zero
         # when slices abut); idle is accumulated independently of busy
@@ -501,22 +559,14 @@ class Kernel:
     # counters, histograms and spans the sliced kernel would have
     # written.
     #
-    # Why completion-only?  Event ties at equal timestamps break by
-    # schedule order (the engine's monotone seq), and the sliced
-    # kernel re-schedules each core's boundary event at the previous
-    # boundary — so at a timestamp shared by several cores' boundaries
-    # (the common case: every core dispatched at t=0 shares the
-    # quantum grid) the firing order is the stable per-boundary
-    # re-anchoring order.  A macro event is scheduled once, at arm
-    # time, so at a shared GRID timestamp it would fire with a stale
-    # (too low) seq and flip that order — observably, since same-time
-    # boundary handlers interact through runqueues and tie-break RNG.
-    # A completion timestamp, by contrast, is an odd float off the
-    # quantum grid (cycles/rate accumulation), which no other core's
-    # boundary chain lands on.  Partial windows (macro cut short by
-    # the cap) would end ON the grid, so they are simply not
-    # coalesced; the win — multi-second compute tails on uncontended
-    # cores — runs to completion anyway.
+    # Why completion-only?  A partial window (macro cut short by the
+    # cap) would end ON the shared quantum grid and still need a real
+    # boundary event there — no event saved — while a completing
+    # window replaces the whole per-quantum tail with one event.  The
+    # engine's core-group ordering (repro.sim.events) guarantees the
+    # macro event fires at its timestamp exactly where the sliced
+    # boundary chain would have, even though it was scheduled long ago
+    # with a stale sequence number.
     def _start_macro(self, thread: SimThread, core: Core,
                      first_length: float) -> bool:
         """Try to coalesce the upcoming quantum boundaries on ``core``.
@@ -571,17 +621,21 @@ class Kernel:
             return False
         if boundaries == 0:  # pragma: no cover - caller guarantees
             return False     # seconds_needed > budget, so >= 1 boundary
-        event = self.sim.schedule_at(end, self._on_macro_end, core)
+        event = self.sim.schedule_at(end, self._on_macro_end, core,
+                                     group=core.index)
         core.idle_seconds += now - core.idle_since
         span = self._tracer.span(now, "exec", thread.name,
                                  core=core.index, thread=thread.name) \
             if "exec" in self._tracer_active else None
         self._slices[core.index] = _Slice(thread, now, rate, event,
                                           span)
-        self._macros[core.index] = complete
+        self._macros[core.index] = _MACRO_LONE
+        self.metrics.counters.incr("coalesce.macros_armed")
         return True
 
     def _on_macro_end(self, core: Core) -> None:
+        self._sweep_time = self.sim._now
+        self._sweep_group = core.index
         del self._macros[core.index]
         piece = self._slices[core.index]
         thread = piece.thread
@@ -589,6 +643,7 @@ class Kernel:
                                         inclusive=True,
                                         allow_complete=True)
         if completed:
+            self.metrics.counters.incr("coalesce.macros_completed")
             self._complete_instruction(thread, None)
             self._process(thread, core)
             return
@@ -596,13 +651,207 @@ class Kernel:
         # to completion, and the catch-up replays the same float
         # arithmetic, so this branch is unreachable unless the two
         # ever disagree — in which case degrade to a real slice event
-        # rather than stall the core.
+        # rather than stall the core, and say so in the counters
+        # (tests pin coalesce.macro_fallback == 0 on the standard
+        # configurations; a nonzero count means the closed forms and
+        # the sliced loop have drifted apart).
+        self.metrics.counters.incr(
+            "coalesce.macro_fallback")  # pragma: no cover
         needed = thread.remaining_cycles / piece.rate  # pragma: no cover
         budget = max(self.scheduler.quantum - thread.quantum_used,
                      _MIN_SLICE)  # pragma: no cover
         length = needed if needed < budget else budget  # pragma: no cover
-        piece.event = self.sim.schedule(length, self._on_slice_end,
-                                        core)  # pragma: no cover
+        piece.event = self.sim.schedule(
+            length, self._on_slice_end, core,
+            group=core.index)  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Rotation coalescing (contended macro slices, DESIGN.md §10)
+    # ------------------------------------------------------------------
+    # A contended core under round-robin is *periodic*: every quantum
+    # boundary retires the runner, requeues it, and dispatches the
+    # queue head — two events per quantum that recompute state the
+    # closed form below can replay exactly.  When the runner and every
+    # queued thread are mid-Compute, core-resident, on fresh quanta,
+    # and preempted (not completing) at their boundaries, the kernel
+    # arms ONE event at the end of the full rotation (running thread +
+    # k queued threads = k+1 quanta) and replays the k interior
+    # boundaries on demand.  The window must end strictly before every
+    # foreign pending event; zero-delay dispatch events are exempt
+    # because they only ever fire at the instant they were scheduled,
+    # and any cross-core read they perform goes through
+    # :meth:`materialized_runqueue`, which re-splits first.
+    #
+    # Unlike lone macros the rotation's end lands ON the quantum grid,
+    # a timestamp typically shared with every other contended core's
+    # boundary chain.  Its event carries an arm-time sequence number
+    # where sliced execution would have re-anchored per boundary; the
+    # engine's core-group ordering (repro.sim.events) makes that
+    # irrelevant — at a shared instant, timers fire first and then
+    # each core's boundary-plus-dispatch work in core-index order,
+    # identically under sliced and coalesced execution, so same-time
+    # handlers observe each other's runqueues and consume tie-break
+    # RNG in the same order in both modes.
+    #
+    # Rotation macros refuse to arm while "sched" tracing is active:
+    # the catch-up would retain run/preempt records out of insertion
+    # order (exec spans are content-canonicalized on export; sched
+    # records are not).
+    def _start_rotation(self, thread: SimThread, core: Core,
+                        first_length: float) -> bool:
+        """Try to coalesce one full round-robin rotation on ``core``.
+
+        Returns True when a rotation macro was scheduled (the caller's
+        sliced path must not run); False to fall back to a normal
+        per-quantum slice.
+        """
+        queue = self._runqueues[core.index]
+        rate = core.rate
+        quantum = self.scheduler.quantum
+        now = self.sim._now
+        index = core.index
+        # Audit the window boundary by boundary with the exact floats
+        # the sliced loop would produce.  The running thread's first
+        # slice is its remaining quantum budget; every queued thread
+        # must resume mid-Compute on this core with a fresh quantum and
+        # survive (be preempted at) its full-quantum boundary.
+        end = now + first_length
+        if thread.remaining_cycles - (end - now) * rate \
+                <= _CYCLE_EPSILON:
+            return False
+        for waiter in queue:
+            if (not isinstance(waiter.current_instruction, _Compute)
+                    or waiter.last_core != index
+                    or waiter.quantum_used != 0.0
+                    or waiter.remaining_cycles / rate <= quantum):
+                return False
+            t = end
+            end = t + quantum
+            if waiter.remaining_cycles - (end - t) * rate \
+                    <= _CYCLE_EPSILON:
+                return False
+        cap = self.sim.horizon(self._rotation_skip)
+        for hook in self._horizon_hooks:
+            bound = hook(now)
+            if bound < cap:
+                cap = bound
+        if end >= cap:
+            return False
+        event = self.sim.schedule_at(end, self._on_rotation_end, core,
+                                     group=core.index)
+        core.idle_seconds += now - core.idle_since
+        span = self._tracer.span(now, "exec", thread.name,
+                                 core=index, thread=thread.name) \
+            if "exec" in self._tracer_active else None
+        self._slices[index] = _Slice(thread, now, rate, event, span)
+        self._macros[index] = _MACRO_ROTATION
+        counters = self.metrics.counters
+        counters.incr("coalesce.macros_armed")
+        counters.incr("coalesce.rotation_macros_armed")
+        return True
+
+    def _on_rotation_end(self, core: Core) -> None:
+        self._sweep_time = self.sim._now
+        self._sweep_group = core.index
+        del self._macros[core.index]
+        self._rotation_catchup(core, self.sim._now, inclusive=False)
+        counters = self.metrics.counters
+        counters.incr("coalesce.macros_completed")
+        counters.incr("coalesce.rotation_macros_completed")
+        # The rotation's final boundary is an ordinary quantum expiry:
+        # retire the anchored slice and let the real requeue/dispatch
+        # machinery take over (the dispatched thread's _start_slice
+        # arms the next rotation when the regime persists).
+        self._on_slice_end(core)
+
+    def _rotation_catchup(self, core: Core, limit: float,
+                          inclusive: bool) -> None:
+        """Materialize a rotation macro's elided quantum boundaries.
+
+        Replays every full boundary up to ``limit`` (strictly before it
+        unless ``inclusive``) — retire the runner, requeue it, dispatch
+        the queue head — writing the same floats in the same order as
+        ``_retire_slice`` / ``_requeue`` / ``_run`` / ``_start_slice``,
+        mutating the live queue, and leaving the open slice anchored at
+        the last replayed boundary.  The arm-time audit guarantees no
+        boundary in the window completes an instruction or migrates a
+        thread, so the replay never re-enters instruction processing.
+        """
+        piece = self._slices[core.index]
+        index = core.index
+        rate = piece.rate
+        queue = self._runqueues[index]
+        quantum = self.scheduler.quantum
+        tracer = self._tracer
+        trace_exec = "exec" in self._tracer_active
+        while True:
+            thread = piece.thread
+            needed = thread.remaining_cycles / rate
+            budget = quantum - thread.quantum_used
+            if budget < _MIN_SLICE:
+                budget = _MIN_SLICE
+            length = needed if needed < budget else budget
+            t = piece.start
+            t_end = t + length
+            if t_end > limit or (t_end == limit and not inclusive):
+                break
+            # _retire_slice, float for float.
+            elapsed = t_end - t
+            cycles = elapsed * rate
+            remaining = thread.remaining_cycles - cycles
+            if remaining < 0.0:
+                remaining = 0.0
+            thread.remaining_cycles = remaining
+            thread.account_execution(index, elapsed, cycles)
+            thread.last_ran_at = t_end
+            thread.quantum_used += elapsed
+            core.busy_time += elapsed
+            core.busy_cycles += cycles
+            core.idle_since = t_end
+            if piece.span is not None:
+                piece.span.end(t_end)
+            if elapsed > 0.0:
+                if elapsed != self._slice_memo_val:
+                    self._slice_memo_val = elapsed
+                    self._slice_memo_key = (_frexp(elapsed)[1]
+                                            + _HIST_OFFSET)
+                self._hb_slice[self._slice_memo_key] += 1
+            else:  # pragma: no cover - audited slices are full quanta
+                self._slice_zeros += 1
+            # _requeue (the audit certified should_preempt: the queue
+            # is never empty inside the window).
+            thread.preemptions += 1
+            core.preemptions += 1
+            thread.quantum_used = 0.0
+            thread.state = ThreadState.READY
+            thread.ready_at = t_end
+            queue.append(thread)
+            # _do_dispatch + _run of the audited queue head (pop-head
+            # by contract; no migration: last_core == index).
+            waiter = queue.popleft()
+            wait = t_end - waiter.ready_at
+            if wait > 0.0:
+                if wait != self._lat_memo_val:
+                    self._lat_memo_val = wait
+                    self._lat_memo_key = _frexp(wait)[1] + _HIST_OFFSET
+                self._hb_latency[self._lat_memo_key] += 1
+                core.lat_total += wait
+            waiter.state = ThreadState.RUNNING
+            core.current_thread = waiter
+            self.context_switches += 1
+            core.dispatches += 1
+            queued = len(queue)
+            if queued:
+                core.rq_total += queued
+                if queued > core.rq_max:
+                    core.rq_max = queued
+            # _start_slice, anchored at the boundary (idle gap is
+            # exactly zero: idle_since was just set to t_end).
+            piece.thread = waiter
+            piece.start = t_end
+            piece.span = tracer.span(t_end, "exec", waiter.name,
+                                     core=index, thread=waiter.name) \
+                if trace_exec else None
 
     def _macro_catchup(self, core: Core, limit: float, inclusive: bool,
                        allow_complete: bool) -> bool:
@@ -696,9 +945,13 @@ class Kernel:
             return
         cores = self.machine.cores
         now = self.sim._now
-        for index in list(self._macros):
-            self._macro_catchup(cores[index], now, inclusive=True,
-                                allow_complete=False)
+        for index, kind in list(self._macros.items()):
+            if kind is _MACRO_ROTATION:
+                self._rotation_catchup(cores[index], now,
+                                       inclusive=True)
+            else:
+                self._macro_catchup(cores[index], now, inclusive=True,
+                                    allow_complete=False)
 
     def _macro_absorb(self, core: Core) -> None:
         """Re-split a live macro slice at an external interruption.
@@ -710,8 +963,23 @@ class Kernel:
         accounts the final partial slice — landing the interruption on
         the identical cycle sliced execution would have.
         """
-        if self._macros.pop(core.index, None) is not None:
-            self._macro_catchup(core, self.sim._now, inclusive=False,
+        kind = self._macros.pop(core.index, None)
+        if kind is None:
+            return
+        now = self.sim._now
+        # A boundary landing exactly at ``now`` belongs to the window
+        # iff this core's position in the engine's same-instant group
+        # sweep has already passed — its event would have fired by now
+        # under sliced execution (see _sweep_time).
+        inclusive = (self._sweep_time == now
+                     and self._sweep_group > core.index)
+        counters = self.metrics.counters
+        counters.incr("coalesce.macros_absorbed")
+        if kind is _MACRO_ROTATION:
+            counters.incr("coalesce.rotation_macros_absorbed")
+            self._rotation_catchup(core, now, inclusive=inclusive)
+        else:
+            self._macro_catchup(core, now, inclusive=inclusive,
                                 allow_complete=False)
 
     def _macro_split(self, core: Core) -> None:
@@ -724,10 +992,23 @@ class Kernel:
         still sees that boundary's slice event pending, as it would
         under sliced execution).
         """
-        if self._macros.pop(core.index, None) is None:
+        kind = self._macros.pop(core.index, None)
+        if kind is None:
             return
-        self._macro_catchup(core, self.sim._now, inclusive=False,
-                            allow_complete=False)
+        now = self.sim._now
+        # Same sweep-position rule as _macro_absorb: a boundary at
+        # exactly ``now`` is replayed iff sliced execution would
+        # already have fired its event.
+        inclusive = (self._sweep_time == now
+                     and self._sweep_group > core.index)
+        counters = self.metrics.counters
+        counters.incr("coalesce.macros_split")
+        if kind is _MACRO_ROTATION:
+            counters.incr("coalesce.rotation_macros_split")
+            self._rotation_catchup(core, now, inclusive=inclusive)
+        else:
+            self._macro_catchup(core, now, inclusive=inclusive,
+                                allow_complete=False)
         piece = self._slices[core.index]
         self.sim.cancel(piece.event)
         thread = piece.thread
@@ -736,7 +1017,8 @@ class Kernel:
                      _MIN_SLICE)
         length = needed if needed < budget else budget
         piece.event = self.sim.schedule_at(piece.start + length,
-                                           self._on_slice_end, core)
+                                           self._on_slice_end, core,
+                                           group=core.index)
 
     def _requeue(self, thread: SimThread, core: Core) -> None:
         """Put the running thread at the back of its core's queue."""
@@ -779,6 +1061,8 @@ class Kernel:
         return thread
 
     def _on_slice_end(self, core: Core) -> None:
+        self._sweep_time = self.sim._now
+        self._sweep_group = core.index
         thread = self._retire_slice(core)
         if thread.remaining_cycles <= _CYCLE_EPSILON:
             self._complete_instruction(thread, None)

@@ -42,6 +42,20 @@ class Scheduler:
 
     name = "base"
 
+    #: Rotation-coalescing contract (the contended analogue of
+    #: :meth:`preemption_horizon`; see DESIGN.md §10).  True certifies,
+    #: for every core with a NON-empty runqueue, that this policy's
+    #: ``next_thread`` pops the queue head without consuming RNG or
+    #: inspecting other cores, and that ``should_preempt`` answers
+    #: exactly "is the core's own runqueue non-empty" — the round-robin
+    #: discipline the kernel's rotation macro replays in closed form.
+    #: The base policy answers False, which disables rotation
+    #: coalescing for subclasses that have not audited those two
+    #: methods against the contract; any subclass overriding
+    #: ``next_thread`` or ``should_preempt`` must reset it to False
+    #: unless the override provably preserves the discipline.
+    rotation_audit = False
+
     def __init__(self, quantum: float = DEFAULT_QUANTUM) -> None:
         if quantum <= 0:
             raise SchedulingError(f"quantum must be positive, got {quantum}")
@@ -131,6 +145,11 @@ class SymmetricScheduler(Scheduler):
     #: transient burst imbalances (3 vs 1 runnable) do not move tasks.
     rebalance_threshold = 3
 
+    #: Audited for rotation coalescing: ``next_thread`` pops the head
+    #: of a non-empty queue before any steal logic runs, and
+    #: ``should_preempt`` is exactly the own-queue-non-empty check.
+    rotation_audit = True
+
     def place(self, thread: "SimThread") -> Core:
         allowed = self._allowed_cores(thread)
         by_index = {core.index: core for core in allowed}
@@ -208,7 +227,10 @@ class SymmetricScheduler(Scheduler):
             victims = [first] + [v for v in victims if v is not first]
         now = self.kernel.now
         for victim in victims:
-            queue = self.kernel.runqueue(victim.index)
+            # Materialized read: the scan below inspects queue contents
+            # and per-thread books (affinity, last_ran_at), which lag
+            # behind reality on a rotation-coalesced core.
+            queue = self.kernel.materialized_runqueue(victim.index)
             # Steal from the tail (coldest cache footprint), skipping
             # threads whose affinity forbids this core and threads that
             # are still cache-hot on the victim.

@@ -61,6 +61,11 @@ class Core:
         #: Sum / max of runqueue length sampled at each dispatch.
         self.rq_total = 0
         self.rq_max = 0
+        #: Sum of ready-to-dispatch waits booked on this core (value
+        #: total of the sched-latency histogram).  Accumulated per core
+        #: — not globally — so batched rotation-macro catch-up adds the
+        #: same floats in the same order as per-quantum slicing.
+        self.lat_total = 0.0
         #: Idle seconds, accumulated independently of ``busy_time``
         #: (kernel-maintained; see the cycle-conservation invariant).
         self.idle_seconds = 0.0

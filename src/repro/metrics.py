@@ -268,12 +268,44 @@ class RunMetrics:
                 errors.append(
                     f"{speed_class} cores retired {total!r} cycles but "
                     f"threads account for {threads_total!r}")
+        # Coalescing bookkeeping: every armed macro slice must be
+        # settled exactly once — completed, split, absorbed, degraded
+        # through the defensive fallback, or still live at snapshot
+        # time.  Exact integer identity; gated on key presence so
+        # sliced runs (no coalesce counters) stay silent.
+        counters = self.counters
+        for prefix, fallback in (("coalesce.macros", True),
+                                 ("coalesce.rotation_macros", False)):
+            armed = counters.get(f"{prefix}_armed")
+            if armed is None:
+                continue
+            settled = (counters.get(f"{prefix}_completed", 0.0)
+                       + counters.get(f"{prefix}_split", 0.0)
+                       + counters.get(f"{prefix}_absorbed", 0.0)
+                       + counters.get(f"{prefix}_live", 0.0))
+            if fallback:
+                settled += counters.get("coalesce.macro_fallback", 0.0)
+            if armed != settled:
+                errors.append(
+                    f"{prefix}: {armed!r} armed but {settled!r} "
+                    "settled (completed + split + absorbed"
+                    + (" + fallback" if fallback else "")
+                    + " + live)")
         return errors
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self, include_coalesce: bool = False) -> Dict[str, Any]:
+        """JSON-ready mapping of the run's observable surface.
+
+        ``coalesce.*`` counters measure the macro-slice fast path
+        itself, so they differ between coalesced and sliced executions
+        of the same run by construction.  They are excluded by default
+        — the serialized surface is the byte-identity contract the
+        coalescing tests and golden fixtures compare — and included
+        only on request (efficacy reports, debugging).
+        """
         return {
             "config": self.config,
             "scheduler": self.scheduler,
@@ -291,7 +323,10 @@ class RunMetrics:
             "thread_class_cycles": {
                 name: dict(split)
                 for name, split in self.thread_class_cycles.items()},
-            "counters": dict(self.counters),
+            "counters": {
+                name: value for name, value in self.counters.items()
+                if include_coalesce
+                or not name.startswith("coalesce.")},
             "histograms": {name: histogram.as_dict()
                            for name, histogram
                            in sorted(self.histograms.items())},
@@ -509,6 +544,26 @@ class MetricsCollector:
             if split:
                 thread_class_cycles[thread.name] = split
 
+        counters = self.counters.as_dict()
+        if kernel._macros:
+            # Live macro gauges, so the conservation identity
+            # armed == completed + split + absorbed + fallback + live
+            # holds for mid-run snapshots too.
+            counters["coalesce.macros_live"] = \
+                float(len(kernel._macros))
+            rotations = sum(1 for kind in kernel._macros.values()
+                            if kind == "rotation")
+            if rotations:
+                counters["coalesce.rotation_macros_live"] = \
+                    float(rotations)
+
+        # The latency-value total is accumulated per core (rotation
+        # catch-up books one core's waits in a batch); summing in core
+        # order is deterministic and mode-independent.
+        lat_total = 0.0
+        for core in machine.cores:
+            lat_total += core.lat_total
+
         return RunMetrics(
             config=machine.label,
             scheduler=kernel.scheduler.name,
@@ -523,7 +578,7 @@ class MetricsCollector:
             class_busy_seconds=class_busy_seconds,
             class_busy_cycles=class_busy_cycles,
             thread_class_cycles=thread_class_cycles,
-            counters=self.counters.as_dict(),
+            counters=counters,
             histograms={
                 # Zero waits are not counted inline (the common
                 # idle-dispatch fast path does no histogram work):
@@ -534,7 +589,7 @@ class MetricsCollector:
                         kernel._hb_latency,
                         kernel.context_switches
                         - sum(kernel._hb_latency),
-                        kernel._lat_total),
+                        lat_total),
                 # The slice-length sum is exactly the busy time the
                 # retire path already books on the cores (in-flight
                 # slices are in neither, so the books match).

@@ -70,18 +70,21 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., Any],
-                 *args: Any) -> Event:
+                 *args: Any, group: int = -1) -> Event:
         """Run ``callback(*args)`` after ``delay`` simulated seconds.
 
         Returns a cancellable :class:`Event` handle; use
         :meth:`schedule_fast` when the event will never be cancelled.
+        ``group`` orders simultaneous events ahead of scheduling order
+        (the kernel tags core-bound events with the core index; see
+        :mod:`repro.sim.events`).
         """
         if delay < 0.0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        return self._queue.push(self._now + delay, callback, args)
+        return self._queue.push(self._now + delay, callback, args, group)
 
     def schedule_fast(self, delay: float, callback: Callable[..., Any],
-                      *args: Any) -> None:
+                      *args: Any, group: int = -1) -> None:
         """Like :meth:`schedule` but uncancellable and allocation-free.
 
         The hot-path variant for the vast majority of events (kernel
@@ -90,15 +93,15 @@ class Simulator:
         """
         if delay < 0.0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        self._queue.push_fast(self._now + delay, callback, args)
+        self._queue.push_fast(self._now + delay, callback, args, group)
 
     def schedule_at(self, time: float, callback: Callable[..., Any],
-                    *args: Any) -> Event:
+                    *args: Any, group: int = -1) -> Event:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}")
-        return self._queue.push(time, callback, args)
+        return self._queue.push(time, callback, args, group)
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event returned by :meth:`schedule`."""

@@ -1,24 +1,37 @@
 """Event objects and the time-ordered event queue.
 
-The queue is a binary heap keyed on ``(time, sequence)``.  The sequence
-number makes ordering of simultaneous events deterministic: two events
-scheduled for the same instant fire in the order they were scheduled.
-Determinism matters because the whole reproduction depends on run-to-run
-variance coming *only* from explicitly seeded random streams, never from
-incidental tie-breaking.
+The queue is a binary heap keyed on ``(time, group, sequence)``.  The
+sequence number makes ordering of simultaneous events deterministic:
+two events scheduled for the same instant and group fire in the order
+they were scheduled.  Determinism matters because the whole
+reproduction depends on run-to-run variance coming *only* from
+explicitly seeded random streams, never from incidental tie-breaking.
+
+The *group* orders simultaneous events of different groups ahead of
+scheduling order.  The kernel tags every core-bound event (slice
+boundaries, macro ends, zero-delay dispatches) with its core index and
+everything else uses the default group ``-1``, so at any shared
+timestamp the machine processes timers first and then each core's
+boundary-and-dispatch work in core order — regardless of *when* each
+event was scheduled.  That invariance is what lets the
+quantum-coalescing fast path replace a chain of per-quantum events
+(each re-scheduled at the previous boundary, hence carrying a fresh
+sequence number) with one macro event armed far in advance (a stale
+sequence number) without perturbing the order in which same-time
+handlers observe each other's runqueues or consume tie-break RNG.
 
 Performance notes
 -----------------
 The heap stores plain tuples, never :class:`Event` objects, so heap
-sifting compares ``(time, seq)`` prefixes entirely in C.  Two entry
-shapes coexist (the sequence number is unique, so comparisons never
-reach the third element):
+sifting compares ``(time, group, seq)`` prefixes entirely in C.  Two
+entry shapes coexist (the sequence number is unique, so comparisons
+never reach the fourth element):
 
-* ``(time, seq, callback, args)`` — the *fast path* used by
+* ``(time, group, seq, callback, args)`` — the *fast path* used by
   :meth:`EventQueue.push_fast` for the overwhelming majority of events
   (kernel dispatches, sleep timers, workload drivers) that are never
   cancelled.  No per-event object is allocated at all.
-* ``(time, seq, event)`` — the cancellable path used by
+* ``(time, group, seq, event)`` — the cancellable path used by
   :meth:`EventQueue.push`, which returns a slot-based :class:`Event`
   handle.
 
@@ -88,27 +101,29 @@ class EventQueue:
     # Scheduling
     # ------------------------------------------------------------------
     def push(self, time: float, callback: Callable[..., Any],
-             args: tuple = ()) -> Event:
+             args: tuple = (), group: int = -1) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``.
 
         Returns an :class:`Event` handle that can be cancelled via
         :meth:`cancel`.  Call sites that never cancel should prefer
-        :meth:`push_fast`.
+        :meth:`push_fast`.  ``group`` orders simultaneous events ahead
+        of scheduling order (see the module docstring).
         """
         if time != time:  # NaN guard: a NaN time would corrupt the heap
             raise SimulationError("event scheduled at NaN time")
         event = Event(time, self._seq, callback, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        heapq.heappush(self._heap, (time, group, self._seq, event))
         self._seq += 1
         self._live += 1
         return event
 
     def push_fast(self, time: float, callback: Callable[..., Any],
-                  args: tuple = ()) -> None:
+                  args: tuple = (), group: int = -1) -> None:
         """Schedule an *uncancellable* callback with no Event allocation."""
         if time != time:
             raise SimulationError("event scheduled at NaN time")
-        heapq.heappush(self._heap, (time, self._seq, callback, args))
+        heapq.heappush(self._heap,
+                       (time, group, self._seq, callback, args))
         self._seq += 1
         self._live += 1
 
@@ -135,7 +150,7 @@ class EventQueue:
         if not self._cancelled:
             return
         self._heap = [entry for entry in self._heap
-                      if len(entry) == 4 or not entry[2].cancelled]
+                      if len(entry) == 5 or not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -152,15 +167,15 @@ class EventQueue:
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            if len(entry) == 3:
-                event = entry[2]
+            if len(entry) == 4:
+                event = entry[3]
                 if event.cancelled:
                     self._cancelled -= 1
                     continue
                 self._live -= 1
                 return event
             self._live -= 1
-            return Event(entry[0], entry[1], entry[2], entry[3])
+            return Event(entry[0], entry[2], entry[3], entry[4])
         return None
 
     def pop_before(self, limit: float,
@@ -175,8 +190,8 @@ class EventQueue:
         heap = self._heap
         while heap:
             entry = heap[0]
-            if len(entry) == 3:
-                event = entry[2]
+            if len(entry) == 4:
+                event = entry[3]
                 if event.cancelled:
                     heapq.heappop(heap)
                     self._cancelled -= 1
@@ -190,7 +205,7 @@ class EventQueue:
                 return None
             heapq.heappop(heap)
             self._live -= 1
-            return (entry[0], entry[2], entry[3])
+            return (entry[0], entry[3], entry[4])
         return None
 
     def peek_time(self) -> Optional[float]:
@@ -198,7 +213,7 @@ class EventQueue:
         heap = self._heap
         while heap:
             entry = heap[0]
-            if len(entry) == 3 and entry[2].cancelled:
+            if len(entry) == 4 and entry[3].cancelled:
                 heapq.heappop(heap)
                 self._cancelled -= 1
                 continue
@@ -223,13 +238,13 @@ class EventQueue:
         for entry in self._heap:
             if entry[0] >= best:
                 continue
-            if len(entry) == 3:
-                event = entry[2]
+            if len(entry) == 4:
+                event = entry[3]
                 if event.cancelled:
                     continue
                 callback = event.callback
             else:
-                callback = entry[2]
+                callback = entry[3]
             if callback in skip_callbacks:
                 continue
             best = entry[0]

@@ -56,8 +56,7 @@ class TpchPowerRun(Workload):
         metrics = {"runtime": system.now}
         for query, elapsed in query_times.items():
             metrics[f"q{query}_runtime"] = elapsed
-        return RunResult(self.name, config, seed, metrics,
-                         run_metrics=system.run_metrics())
+        return self.result(config, seed, system=system, **metrics)
 
 
 class TpchQuery(Workload):
@@ -79,4 +78,5 @@ class TpchQuery(Workload):
         result = self._power.run_once(config, seed, scheduler_factory)
         return RunResult(self.name, config, seed,
                          {"runtime": result.metric("runtime")},
-                         run_metrics=result.run_metrics)
+                         run_metrics=result.run_metrics,
+                         trace=result.trace)

@@ -13,8 +13,9 @@ fast the simulator gets there.  These tests hold that contract down:
 * deterministic unit tests for the re-split paths (a wakeup landing on
   a coalesced core mid-window, pull migration absorbing a macro);
 * the engagement guarantee the benchmarks rely on (uncontended runs
-  fire an order of magnitude fewer events; contended runs are
-  untouched);
+  fire an order of magnitude fewer events; contended runs engage the
+  rotation macro of DESIGN.md §10, tested in depth in
+  tests/test_rotation_coalescing.py);
 * the process-wide plumbing: ``REPRO_NO_COALESCE``, the ``coalesce``
   override, and the result-cache fingerprint folding the mode.
 """
@@ -155,11 +156,17 @@ def test_uncontended_runs_coalesce():
         sliced.run_metrics().to_json()
 
 
-def test_contended_runqueues_never_coalesce():
-    """With queued contenders every quantum boundary is a real event."""
+def test_contended_runqueues_coalesce_rotations():
+    """Queued contenders engage the rotation macro (DESIGN.md §10).
+
+    Two threads per core is the minimum contention: each rotation
+    coalesces one interior boundary, halving the event count during
+    steady state.  The strong engagement bound lives in
+    tests/test_rotation_coalescing.py on a fully pinned scenario.
+    """
     coalesced = _lone_spin_run(True, threads=8)
     sliced = _lone_spin_run(False, threads=8)
-    assert coalesced.sim.events_fired == sliced.sim.events_fired
+    assert coalesced.sim.events_fired * 3 <= sliced.sim.events_fired * 2
     assert coalesced.run_metrics().to_json() == \
         sliced.run_metrics().to_json()
 
