@@ -31,6 +31,11 @@ every check is hardware-independent:
   regime PR 5's uncontended macro never touched — the floor is what
   keeps the rotation fast path from silently disengaging.
 
+* **Lock-handoff pins** — the per-kind contended lock benchmark
+  (``lock_handoff``) is deterministic, so per-kind acquisition and
+  contention counts are compared exactly; drift means the lock
+  layer's grant order or spin policy changed.
+
 The baseline defaults to the *committed* pin
 ``benchmarks/results/BENCH_baseline.json``, which only
 ``benchmarks/update_baseline.py`` may rewrite — never the benchmark
@@ -214,6 +219,34 @@ def check(baseline: dict, fresh: dict,
                         f"kernel_timeslicing_contended {key} = "
                         f"{contended[key]} vs baseline {pinned[key]} "
                         "— simulation behaviour changed")
+
+    handoff = fresh.get("lock_handoff")
+    if handoff is not None:
+        for kind, numbers in sorted(handoff["kinds"].items()):
+            if not numbers["acquisitions"] > 0:
+                failures.append(
+                    f"lock_handoff/{kind} recorded no acquisitions — "
+                    "the contended lock benchmark never engaged")
+            rate = numbers["acquisitions_per_sec"]
+            print(f"lock handoff ({kind}): "
+                  f"{numbers['acquisitions']:.0f} acquisitions "
+                  f"({numbers['contended']:.0f} contended), "
+                  f"{rate:,.0f} acquisitions/sec")
+        pinned = baseline.get("lock_handoff")
+        if pinned is not None:
+            # The stress runs are deterministic: per-kind acquisition
+            # and contention counts must match the baseline exactly.
+            for kind, numbers in sorted(handoff["kinds"].items()):
+                pin = pinned["kinds"].get(kind)
+                if pin is None:
+                    continue
+                for key in ("acquisitions", "contended"):
+                    if pin[key] != numbers[key]:
+                        failures.append(
+                            f"lock_handoff/{kind} {key} = "
+                            f"{numbers[key]:.0f} vs baseline "
+                            f"{pin[key]:.0f} — simulation behaviour "
+                            "changed")
 
     base_speedup = baseline["event_queue"].get("speedup_vs_seed")
     fresh_speedup = fresh["event_queue"].get("speedup_vs_seed")

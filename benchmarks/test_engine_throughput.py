@@ -262,6 +262,43 @@ def test_synchronization_throughput(benchmark):
     assert elapsed > 0
 
 
+def test_lock_handoff_throughput(benchmark):
+    """Contended handoff cost per lock kind (DESIGN.md §11).
+
+    Eight threads hammer one shared lock on the asymmetric machine —
+    the regime where the handoff policy actually runs (blocking
+    wake-up versus spin re-check versus speed-aware successor pick).
+    Per-kind acquisition counts are deterministic and pinned by the
+    regression guard; the wall time per acquisition is the cost the
+    lock layer adds to the dispatch path.
+    """
+    from repro.workloads.lockstress import LockStress
+
+    def run_kind(kind):
+        return LockStress(n_threads=8, lock_kind=kind,
+                          duration=0.3).run_once("2f-2s/8", seed=1)
+
+    kinds = {}
+    for kind in ("fifo", "spin", "mcs", "asym"):
+        result = run_kind(kind)
+        counters = result.run_metrics.counters
+        acquisitions = counters.get("lock.acquisitions", 0.0)
+        assert acquisitions > 0
+        best = _best_seconds(lambda k=kind: run_kind(k), repeats=3)
+        kinds[kind] = {
+            "acquisitions": acquisitions,
+            "contended": counters.get("lock.contended", 0.0),
+            "best_seconds": best,
+            "acquisitions_per_sec": acquisitions / best,
+        }
+    benchmark(lambda: run_kind("asym"))
+    _MEASUREMENTS["lock_handoff"] = {
+        "config": "2f-2s/8",
+        "threads": 8,
+        "kinds": kinds,
+    }
+
+
 def test_runner_fanout_throughput(benchmark):
     """Wall time of a Runner sweep: serial vs. fanned-out workers.
 

@@ -189,7 +189,7 @@ def main(argv=None) -> int:
         description="Regenerate exhibits of the ISCA 2005 asymmetry "
                     "paper reproduction.")
     parser.add_argument("exhibit",
-                        help="exhibit name (fig01..fig10, table1), "
+                        help="exhibit name (fig01..fig12, table1), "
                              "'all', 'list', 'validate', or 'sweep' "
                              "(one workload's config sweep; see "
                              "--workload/--predict)")

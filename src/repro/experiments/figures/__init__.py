@@ -17,6 +17,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig09_h264_pmake,
     fig10_summary,
     fig11_dynamic_asym,
+    fig12_locks,
     table1_summary,
 )
 
@@ -32,6 +33,7 @@ ALL_EXHIBITS = {
     "fig09": fig09_h264_pmake,
     "fig10": fig10_summary,
     "fig11": fig11_dynamic_asym,
+    "fig12": fig12_locks,
     "table1": table1_summary,
 }
 

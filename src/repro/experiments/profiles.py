@@ -44,6 +44,9 @@ class Profile:
     #: recovery window of a transient throttle.
     storm_events_per_second: float = 25.0
     storm_recovery_mean: float = 0.02
+    #: Simulated seconds per LockStress run in the Figure 12
+    #: slow-holder exhibit.
+    lockstress_seconds: float = 0.6
 
 
 PAPER = Profile(

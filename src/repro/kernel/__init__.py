@@ -40,7 +40,17 @@ from repro.kernel.scheduler import (
     Scheduler,
     SymmetricScheduler,
 )
-from repro.kernel.sync import Barrier, CondVar, Mutex, Semaphore
+from repro.kernel.sync import (
+    LOCK_KINDS,
+    AsymMutex,
+    Barrier,
+    CondVar,
+    MCSMutex,
+    Mutex,
+    Semaphore,
+    SpinMutex,
+    make_lock,
+)
 from repro.kernel.thread import SimThread, ThreadState
 
 __all__ = [
@@ -53,6 +63,11 @@ __all__ = [
     "SimThread",
     "ThreadState",
     "Mutex",
+    "SpinMutex",
+    "MCSMutex",
+    "AsymMutex",
+    "make_lock",
+    "LOCK_KINDS",
     "Barrier",
     "CondVar",
     "Semaphore",

@@ -77,7 +77,12 @@ class Sleep(Instruction):
 
 
 class Lock(Instruction):
-    """Acquire ``mutex``, blocking while another thread owns it."""
+    """Acquire ``mutex``, waiting while another thread owns it.
+
+    How a contended acquire waits depends on the mutex kind (see
+    :mod:`repro.kernel.sync`): blocking kinds deschedule the thread;
+    spin kinds keep the core and burn cycles until the lock frees.
+    """
 
     __slots__ = ("mutex",)
 
@@ -86,7 +91,9 @@ class Lock(Instruction):
 
 
 class Unlock(Instruction):
-    """Release ``mutex``; the longest-waiting thread acquires it."""
+    """Release ``mutex``; its handoff policy picks the successor
+    (FIFO by default — see the lock taxonomy in
+    :mod:`repro.kernel.sync`)."""
 
     __slots__ = ("mutex",)
 

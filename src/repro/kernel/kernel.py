@@ -165,6 +165,13 @@ class Kernel:
         # sliced execution that boundary's event has already fired.
         self._sweep_time = -1.0
         self._sweep_group = -1
+        #: Per-kernel counters behind the lazy auto-naming of
+        #: anonymous sync objects (``mutex-1``, ``barrier-1``, ... in
+        #: simulation order).  Scoping the counters here keeps
+        #: auto-generated names — which reach block spans, deadlock
+        #: reports and golden fixtures — independent of how many sync
+        #: objects other kernels in the process created first.
+        self._sync_names: Dict[str, int] = {}
         self.threads: List[SimThread] = []
         # Live bookkeeping so the run loop never scans self.threads:
         # counts of non-daemon threads ever spawned / not yet terminated.
@@ -367,7 +374,22 @@ class Kernel:
         if span is not None:
             thread.block_span = None
             span.end(now)
-        core = self.scheduler.place(thread)
+        hint = thread.wake_core_hint
+        if hint is not None:
+            # One-shot critical-section migration (AsymMutex with
+            # migrate=True): wake onto the hinted core, bypassing the
+            # scheduler's placement policy — but only while the core
+            # is still free; otherwise fall through to place().  The
+            # hint is set immediately before the wake, so the re-check
+            # is normally a formality.
+            thread.wake_core_hint = None
+            core = self.machine.cores[hint]
+            if (not core.online or core.current_thread is not None
+                    or self._runqueues[hint]
+                    or not thread.allowed_on(hint)):
+                core = self.scheduler.place(thread)
+        else:
+            core = self.scheduler.place(thread)
         if not thread.allowed_on(core.index):
             raise SchedulingError(
                 f"scheduler placed {thread.name!r} on forbidden core "
@@ -464,6 +486,24 @@ class Kernel:
         body_send = thread.body.send
         scheduler = self.scheduler
         for _ in range(_INSTANT_GUARD):
+            if thread.spin_lock is not None:
+                # Busy-waiting on a spin-kind mutex: the in-flight
+                # instruction is the Lock, but remaining_cycles holds
+                # the rest of the current spin burst.  A drained burst
+                # re-checks the lock; otherwise (or when the check
+                # fails and re-arms) the burst executes exactly like
+                # compute — same quantum accounting, preemption and
+                # slicing — so spinning costs real core time.
+                if thread.remaining_cycles <= _CYCLE_EPSILON \
+                        and self._spin_recheck(thread, core):
+                    continue
+                if thread.quantum_used >= scheduler.quantum:
+                    if scheduler.should_preempt(core, thread):
+                        self._requeue(thread, core)
+                        return
+                    thread.quantum_used = 0.0
+                self._start_slice(thread, core)
+                return
             instruction = thread.current_instruction
             if instruction is None:
                 try:
@@ -517,7 +557,13 @@ class Kernel:
         budget = max(self.scheduler.quantum - thread.quantum_used,
                      _MIN_SLICE)
         length = min(seconds_needed, budget)
-        if self._coalesce and seconds_needed > budget:
+        # Spin bursts never coalesce: a lone macro would run the burst
+        # to "completion" and complete the thread's in-flight Lock
+        # instruction, but a drained burst must re-check the lock
+        # instead.  (Rotation audits already reject queued spinners:
+        # their current_instruction is a Lock, not a Compute.)
+        if self._coalesce and seconds_needed > budget \
+                and thread.spin_lock is None:
             if not self._runqueues[core.index]:
                 if (self.scheduler.preemption_horizon(core, thread)
                         == _INF
@@ -1048,6 +1094,11 @@ class Kernel:
         core.busy_time += elapsed
         core.busy_cycles += cycles
         core.idle_since = now
+        if thread.spin_lock is not None and cycles > 0.0:
+            # Busy-wait cycles are booked as busy time above; tag them
+            # so the waste is visible (and bounded by the spin ⊆ busy
+            # conservation invariant in repro.metrics).
+            self.metrics.counters.incr("lock.spin_cycles", cycles)
         if piece.span is not None:
             piece.span.end(now)
         # Slice-duration histogram (inline; see repro.histogram).
@@ -1065,7 +1116,10 @@ class Kernel:
         self._sweep_group = core.index
         thread = self._retire_slice(core)
         if thread.remaining_cycles <= _CYCLE_EPSILON:
-            self._complete_instruction(thread, None)
+            # A drained spin burst is not a completed instruction: let
+            # _process's spin branch re-check the lock (or re-arm).
+            if thread.spin_lock is None:
+                self._complete_instruction(thread, None)
             self._process(thread, core)
             return
         # Quantum expired mid-instruction.
@@ -1134,7 +1188,10 @@ class Kernel:
         snapped = core.set_duty_cycle(duty_cycle)
         if thread is not None:
             if thread.remaining_cycles <= _CYCLE_EPSILON:
-                self._complete_instruction(thread, None)
+                # Same spin guard as _on_slice_end: a drained spin
+                # burst re-checks its lock instead of completing.
+                if thread.spin_lock is None:
+                    self._complete_instruction(thread, None)
                 self._process(thread, core)
             elif thread.quantum_used >= self.scheduler.quantum \
                     and self.scheduler.should_preempt(core, thread):
@@ -1231,7 +1288,10 @@ class Kernel:
     # ------------------------------------------------------------------
     # Blocking and waking
     # ------------------------------------------------------------------
-    def _block(self, thread: SimThread, reason: str) -> None:
+    def _block(self, thread: SimThread, reason: str,
+               **details: Any) -> None:
+        """Park ``thread``; extra ``details`` annotate the block span
+        (lock waits pass the holder and its speed class)."""
         thread.state = ThreadState.BLOCKED
         thread.block_reason = reason
         tracer = self.sim.tracer
@@ -1240,7 +1300,8 @@ class Kernel:
                           thread=thread.name, reason=reason)
         if "block" in tracer.active:
             thread.block_span = tracer.span(
-                self.sim.now, "block", reason, thread=thread.name)
+                self.sim.now, "block", reason, thread=thread.name,
+                **details)
 
     def _wake_blocked(self, thread: SimThread, result: Any = None) -> None:
         """Complete a blocked thread's instruction and make it ready."""
@@ -1273,10 +1334,10 @@ class Kernel:
             return True
 
         if isinstance(instruction, _Lock):
-            return self._do_lock(thread, instruction.mutex)
+            return self._do_lock(thread, core, instruction.mutex)
 
         if isinstance(instruction, _Unlock):
-            self._do_unlock(thread, instruction.mutex)
+            self._do_unlock(thread, core, instruction.mutex)
             self._complete_instruction(thread, None)
             return False
 
@@ -1284,7 +1345,7 @@ class Kernel:
             return self._do_barrier(thread, instruction.barrier)
 
         if isinstance(instruction, ins.Wait):
-            return self._do_cond_wait(thread, instruction)
+            return self._do_cond_wait(thread, core, instruction)
 
         if isinstance(instruction, ins.Notify):
             self._do_notify(instruction)
@@ -1297,6 +1358,8 @@ class Kernel:
                 semaphore.permits -= 1
                 self._complete_instruction(thread, None)
                 return False
+            if not semaphore.name:
+                self._name_sync(semaphore)
             semaphore.waiters.append(thread)
             self._block(thread, semaphore.wait_label)
             return True
@@ -1355,31 +1418,179 @@ class Kernel:
             f"unknown instruction {instruction!r} from {thread.name!r}")
 
     # ------------------------------------------------------------------
-    def _do_lock(self, thread: SimThread, mutex) -> bool:
-        if mutex.owner is None:
-            mutex.owner = thread
+    # Locking (the LibASL primitive layer, DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def _name_sync(self, obj) -> None:
+        """Assign a kernel-scoped auto-name to an anonymous sync
+        object (``mutex-1``, ``barrier-1``, ... in simulation order)."""
+        prefix = obj._auto_prefix
+        count = self._sync_names.get(prefix, 0) + 1
+        self._sync_names[prefix] = count
+        obj.name = f"{prefix}-{count}"
+
+    def _speed_class(self, core_index: int) -> str:
+        """The core's *current* speed class — a throttled fast core
+        counts as slow, which is exactly the case the asymmetry-aware
+        handoff exists for."""
+        return "fast" if (self.machine.cores[core_index].rate
+                          == self.machine.fastest_rate) else "slow"
+
+    def _grant_lock(self, mutex, thread: SimThread, core: Core) -> None:
+        """Make ``thread`` the owner of ``mutex`` on ``core``; book
+        the acquisition and (for spin kinds) the pending handoff."""
+        mutex.owner = thread
+        mutex.acquisitions += 1
+        counters = self.metrics.counters
+        counters.incr("lock.acquisitions")
+        if mutex.spins and mutex.release_class is not None:
+            # The release happened earlier (spinners notice it at a
+            # burst boundary); attribute the handoff pair now that the
+            # acquiring core is known.
+            counters.incr(f"lock.handoffs.{mutex.release_class}"
+                          f"_to_{self._speed_class(core.index)}")
+            mutex.release_class = None
+
+    def _spin_recheck(self, thread: SimThread, core: Core) -> bool:
+        """A spin burst drained: try to take the lock, else re-arm.
+
+        Returns True when the lock was acquired (the thread's Lock
+        instruction completes); False when the thread must keep
+        spinning.  MCS-kind locks only grant to the queue head, which
+        makes handoff FIFO even though the waiting burns cycles.
+        """
+        mutex = thread.spin_lock
+        if mutex.owner is None and (mutex.kind != "mcs"
+                                    or mutex.waiters[0] is thread):
+            mutex.waiters.remove(thread)
+            thread.spin_lock = None
+            self._grant_lock(mutex, thread, core)
+            self._complete_instruction(thread, None)
+            return True
+        thread.remaining_cycles = mutex.spin_check_cycles
+        return False
+
+    def _do_lock(self, thread: SimThread, core: Core, mutex) -> bool:
+        if not mutex.name:
+            self._name_sync(mutex)
+        owner = mutex.owner
+        if owner is None and not (mutex.spins and mutex.waiters
+                                  and mutex.kind == "mcs"):
+            # Uncontended (or, for plain spin locks, barging past
+            # spinners still mid-burst — test-and-set semantics).
+            self._grant_lock(mutex, thread, core)
             self._complete_instruction(thread, None)
             return False
-        if mutex.owner is thread:
+        if owner is thread:
             raise SchedulingError(
                 f"thread {thread.name!r} re-locking non-reentrant "
                 f"{mutex.name}")
         mutex.waiters.append(thread)
         mutex.contention_count += 1
-        self._block(thread, mutex.wait_label)
+        depth = len(mutex.waiters)
+        if depth > mutex.max_queue_depth:
+            mutex.max_queue_depth = depth
+        counters = self.metrics.counters
+        counters.incr("lock.contended")
+        counters.set_max("lock.max_queue_depth", float(depth))
+        if mutex.spins:
+            # Busy-wait: keep the core and burn spin_check_cycles per
+            # lock re-check (see _process's spin branch).  The Lock
+            # instruction stays in flight, which also keeps rotation
+            # macros from coalescing over the spinner.
+            thread.spin_lock = mutex
+            thread.remaining_cycles = mutex.spin_check_cycles
+            return False
+        if "block" in self._tracer_active and owner.last_core is not None:
+            self._block(thread, mutex.wait_label, holder=owner.name,
+                        holder_class=self._speed_class(owner.last_core))
+        else:
+            self._block(thread, mutex.wait_label)
         return True
 
-    def _do_unlock(self, thread: SimThread, mutex) -> None:
+    def _pick_successor(self, mutex) -> SimThread:
+        """Pop the waiter the lock's handoff policy selects next.
+
+        FIFO kinds pop the head.  The asymmetry-aware kind prefers (1)
+        any waiter whose bypass count hit the fairness cap, then (2)
+        the first waiter last seen on a fast core, then (3) the head;
+        every waiter skipped over gets its bypass count bumped.
+        """
+        waiters = mutex.waiters
+        if mutex.kind != "asym" or len(waiters) == 1:
+            return waiters.popleft()
+        pick = -1
+        for index, waiter in enumerate(waiters):
+            if waiter.lock_bypasses >= mutex.max_bypass:
+                pick = index
+                break
+        if pick < 0:
+            for index, waiter in enumerate(waiters):
+                last = waiter.last_core
+                if last is not None \
+                        and self._speed_class(last) == "fast":
+                    pick = index
+                    break
+            else:
+                pick = 0
+        if pick == 0:
+            return waiters.popleft()
+        successor = waiters[pick]
+        del waiters[pick]
+        for index in range(pick):
+            waiters[index].lock_bypasses += 1
+        return successor
+
+    def _idle_fast_core(self, thread: SimThread) -> Optional[Core]:
+        """Lowest-indexed idle full-speed core that may run ``thread``
+        (empty queue, nothing running), or None."""
+        fastest = self.machine.fastest_rate
+        for candidate in self.machine.cores:
+            if (candidate.online and candidate.rate == fastest
+                    and candidate.current_thread is None
+                    and not self._runqueues[candidate.index]
+                    and thread.allowed_on(candidate.index)):
+                return candidate
+        return None
+
+    def _do_unlock(self, thread: SimThread, core: Core, mutex) -> None:
+        if not mutex.name:
+            self._name_sync(mutex)
         if mutex.owner is not thread:
             raise SchedulingError(
                 f"thread {thread.name!r} unlocking {mutex.name} owned "
                 f"by {mutex.owner.name if mutex.owner else None}")
-        if mutex.waiters:
-            successor = mutex.waiters.popleft()
-            mutex.owner = successor
-            self._wake_blocked(successor, None)
-        else:
+        if mutex.spins:
+            # Spinners notice the release at their next burst
+            # boundary; remember the releasing core's class so the
+            # eventual grant books the handoff pair.
             mutex.owner = None
+            if mutex.waiters:
+                mutex.release_class = self._speed_class(core.index)
+            return
+        if not mutex.waiters:
+            mutex.owner = None
+            return
+        successor = self._pick_successor(mutex)
+        successor.lock_bypasses = 0
+        mutex.owner = successor
+        mutex.acquisitions += 1
+        counters = self.metrics.counters
+        counters.incr("lock.acquisitions")
+        to_core = successor.last_core
+        to_class = self._speed_class(to_core) if to_core is not None \
+            else "slow"
+        counters.incr(f"lock.handoffs."
+                      f"{self._speed_class(core.index)}_to_{to_class}")
+        if mutex.kind == "asym" and mutex.migrate \
+                and to_class != "fast":
+            target = self._idle_fast_core(successor)
+            if target is not None:
+                # Critical-section migration: wake the successor on an
+                # idle fast core so the serial section runs at full
+                # speed (consumed by _make_ready).
+                successor.wake_core_hint = target.index
+                counters.incr("lock.crit_migrations")
+        self._wake_blocked(successor, None)
 
     def _do_barrier(self, thread: SimThread, barrier) -> bool:
         if barrier.n_waiting + 1 >= barrier.parties:
@@ -1391,15 +1602,25 @@ class Kernel:
                 self._wake_blocked(waiter, barrier.generation)
             self._complete_instruction(thread, barrier.generation)
             return False
+        if not barrier.name:
+            self._name_sync(barrier)
         barrier.waiting.append(thread)
         self._block(thread, barrier.wait_label)
         return True
 
-    def _do_cond_wait(self, thread: SimThread, instruction) -> bool:
+    def _do_cond_wait(self, thread: SimThread, core: Core,
+                      instruction) -> bool:
         mutex = instruction.mutex
-        self._do_unlock(thread, mutex)
-        instruction.condvar.waiters.append(thread)
-        self._block(thread, instruction.condvar.wait_label)
+        if mutex.spins:
+            raise SchedulingError(
+                f"condition variables need a blocking mutex; "
+                f"{mutex.name or 'anonymous'} is kind {mutex.kind!r}")
+        condvar = instruction.condvar
+        if not condvar.name:
+            self._name_sync(condvar)
+        self._do_unlock(thread, core, mutex)
+        condvar.waiters.append(thread)
+        self._block(thread, condvar.wait_label)
         return True
 
     def _do_notify(self, instruction) -> None:
@@ -1407,6 +1628,7 @@ class Kernel:
         count = instruction.count
         if count is None:
             count = len(condvar.waiters)
+        counters = self.metrics.counters
         for _ in range(min(count, len(condvar.waiters))):
             waiter = condvar.waiters.popleft()
             # The waiter must re-acquire the mutex named in its Wait
@@ -1414,9 +1636,17 @@ class Kernel:
             mutex = waiter.current_instruction.mutex
             if mutex.owner is None:
                 mutex.owner = waiter
+                mutex.acquisitions += 1
+                counters.incr("lock.acquisitions")
                 self._wake_blocked(waiter, None)
             else:
                 mutex.waiters.append(waiter)
+                mutex.contention_count += 1
+                depth = len(mutex.waiters)
+                if depth > mutex.max_queue_depth:
+                    mutex.max_queue_depth = depth
+                counters.incr("lock.contended")
+                counters.set_max("lock.max_queue_depth", float(depth))
                 waiter.block_reason = f"relock {mutex.name}"
 
     # ------------------------------------------------------------------

@@ -86,6 +86,18 @@ class SimThread:
         #: Open ``"block"`` timeline span while blocked/sleeping, or
         #: None (ended by the kernel on wakeup).
         self.block_span: Optional[Any] = None
+        #: Spin-kind mutex this thread is busy-waiting on, or None.
+        #: While set, the thread's in-flight instruction is a ``Lock``
+        #: but ``remaining_cycles`` holds the rest of the current spin
+        #: burst — the kernel re-checks the lock each time it drains.
+        self.spin_lock: Optional[Any] = None
+        #: Times an AsymMutex release skipped this waiter for a
+        #: fast-core one; reset on grant (fairness backstop).
+        self.lock_bypasses = 0
+        #: One-shot placement override consumed by the next wakeup
+        #: (AsymMutex critical-section migration); bypasses the
+        #: scheduler's ``place`` when the hinted core is still free.
+        self.wake_core_hint: Optional[int] = None
 
         # -------------------------- accounting -------------------------
         self.spawn_time: Optional[float] = None

@@ -82,6 +82,18 @@ class CounterBag:
         counts = self._counts
         counts[name] = counts.get(name, 0.0) + value
 
+    def set_max(self, name: str, value: float) -> None:
+        """Raise the named high-water-mark counter to ``value``.
+
+        Counters maintained this way should be named ``*.max_*`` so
+        :meth:`RunMetrics.merge` combines them by maximum rather than
+        by summation.
+        """
+        counts = self._counts
+        current = counts.get(name)
+        if current is None or value > current:
+            counts[name] = value
+
     def get(self, name: str, default: float = 0.0) -> float:
         return self._counts.get(name, default)
 
@@ -268,6 +280,21 @@ class RunMetrics:
                 errors.append(
                     f"{speed_class} cores retired {total!r} cycles but "
                     f"threads account for {threads_total!r}")
+        # Spin-waiting is real work burned on a core, so the cycles
+        # the lock layer attributes to spinning can never exceed the
+        # cycles the cores retired (spin cycles ⊆ busy cycles).  Gated
+        # on key presence: runs without spin-kind locks stay silent.
+        spin_cycles = self.counters.get("lock.spin_cycles")
+        if spin_cycles is not None:
+            busy_cycles = self.total_busy_cycles
+            cycle_slack = rtol * max(busy_cycles, 1.0) + atol
+            if spin_cycles < 0:
+                errors.append(
+                    f"lock.spin_cycles is negative: {spin_cycles!r}")
+            elif spin_cycles > busy_cycles + cycle_slack:
+                errors.append(
+                    f"lock.spin_cycles {spin_cycles!r} exceeds total "
+                    f"busy cycles {busy_cycles!r}")
         # Coalescing bookkeeping: every armed macro slice must be
         # settled exactly once — completed, split, absorbed, degraded
         # through the defensive fallback, or still live at snapshot
@@ -425,8 +452,15 @@ class RunMetrics:
                     into_split[speed_class] = \
                         into_split.get(speed_class, 0.0) + cycles
             for name, value in item.counters.items():
-                merged.counters[name] = \
-                    merged.counters.get(name, 0.0) + value
+                if ".max_" in name:
+                    # High-water marks (CounterBag.set_max) combine by
+                    # maximum: summing queue-depth peaks across runs
+                    # would report a depth no run ever reached.
+                    merged.counters[name] = max(
+                        merged.counters.get(name, value), value)
+                else:
+                    merged.counters[name] = \
+                        merged.counters.get(name, 0.0) + value
             for name, histogram in item.histograms.items():
                 into_histogram = merged.histograms.get(name)
                 if into_histogram is None:

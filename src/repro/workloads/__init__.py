@@ -11,11 +11,15 @@ be run on any machine configuration with any kernel scheduler:
 * :class:`~repro.workloads.specomp.SpecOmpBenchmark` (§3.5)
 * :class:`~repro.workloads.h264.H264Encoder` (§3.6)
 * :class:`~repro.workloads.pmake.Pmake` (§3.7)
+
+plus :class:`~repro.workloads.lockstress.LockStress`, the
+lock-contention microbenchmark behind fig12 (DESIGN.md §11).
 """
 
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
 from repro.workloads.h264 import H264Encoder
 from repro.workloads.jappserver import INJECTION_RATES, SpecJAppServer
+from repro.workloads.lockstress import LockStress
 from repro.workloads.pmake import Pmake
 from repro.workloads.specjbb import SpecJBB
 from repro.workloads.specomp import SpecOmpBenchmark
@@ -36,4 +40,5 @@ __all__ = [
     "SpecOmpBenchmark",
     "H264Encoder",
     "Pmake",
+    "LockStress",
 ]

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.kernel.instructions import Compute
+from repro.kernel.instructions import Compute, Lock, Unlock
+from repro.kernel.sync import Mutex, make_lock
 from repro.kernel.thread import SimThread
 from repro.runtime.jvm import GCKind, ManagedRuntime, hotspot, jrockit
 from repro.workloads.base import RunResult, SchedulerFactory, Workload
@@ -61,6 +62,17 @@ class SpecJBB(Workload):
         Mean CPU work per business operation (fast-core cycles).
     allocation_per_transaction:
         Heap bytes allocated per operation (GC pressure knob).
+    lock_kind:
+        Kind of the shared transaction-log lock ("fifo"/"spin"/"mcs"/
+        "asym", DESIGN.md §11).
+    log_cycles:
+        Critical-section length of one log-buffer flush (fast-core
+        cycles).  Zero disables the lock entirely.
+    log_batch:
+        Transactions appended to a warehouse's local log buffer
+        between flushes.  Commits are batched (as real transaction
+        logs do) so the lock perturbs scheduling only at flush
+        granularity; ``1`` locks on every transaction.
     """
 
     name = "SPECjbb"
@@ -76,9 +88,16 @@ class SpecJBB(Workload):
                  transaction_jitter: float = 0.05,
                  allocation_per_transaction: float = 15e3,
                  heap_capacity: float = 24 * MB,
-                 live_bytes: float = 8 * MB) -> None:
+                 live_bytes: float = 8 * MB,
+                 lock_kind: str = "fifo",
+                 log_cycles: float = 40e3,
+                 log_batch: int = 32) -> None:
         if warehouses < 1:
             raise ValueError("need at least one warehouse")
+        if log_cycles < 0:
+            raise ValueError("log_cycles must be non-negative")
+        if log_batch < 1:
+            raise ValueError("log_batch must be >= 1")
         self.warehouses = warehouses
         self.vm = vm
         self.gc = gc
@@ -89,6 +108,9 @@ class SpecJBB(Workload):
         self.allocation_per_transaction = allocation_per_transaction
         self.heap_capacity = heap_capacity
         self.live_bytes = live_bytes
+        self.lock_kind = lock_kind
+        self.log_cycles = log_cycles
+        self.log_batch = log_batch
 
     # ------------------------------------------------------------------
     def _build_vm(self, system) -> ManagedRuntime:
@@ -99,11 +121,23 @@ class SpecJBB(Workload):
                        heap_capacity=self.heap_capacity,
                        live_bytes=self.live_bytes)
 
-    def _warehouse_body(self, rng, vm: ManagedRuntime, counter: _Counter):
+    def _warehouse_body(self, rng, vm: ManagedRuntime, counter: _Counter,
+                        log_lock: Optional[Mutex]):
+        buffered = 0
         while True:
             yield Compute(rng.jitter(self.transaction_cycles,
                                      self.transaction_jitter))
             yield from vm.allocate(self.allocation_per_transaction)
+            buffered += 1
+            if log_lock is not None and buffered >= self.log_batch:
+                # Flush the local log buffer to the shared transaction
+                # log.  Every warehouse serializes here, so a slow-core
+                # holder stalls the whole terminal population
+                # (DESIGN.md §11).
+                buffered = 0
+                yield Lock(log_lock)
+                yield Compute(self.log_cycles)
+                yield Unlock(log_lock)
             counter.transactions += 1
 
     # ------------------------------------------------------------------
@@ -114,10 +148,12 @@ class SpecJBB(Workload):
         vm = self._build_vm(system)
         counter = _Counter()
         rng = system.sim.stream("specjbb.tx")
+        log_lock = (make_lock(self.lock_kind, "jbb-txlog")
+                    if self.log_cycles > 0 else None)
         for wid in range(self.warehouses):
             system.kernel.spawn(SimThread(
                 f"warehouse-{wid}",
-                self._warehouse_body(rng, vm, counter),
+                self._warehouse_body(rng, vm, counter, log_lock),
                 daemon=True))
 
         def snapshot_warmup():

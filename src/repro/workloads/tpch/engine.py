@@ -19,8 +19,8 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro._system import System
-from repro.kernel.instructions import Acquire, Compute
-from repro.kernel.sync import Semaphore
+from repro.kernel.instructions import Acquire, Compute, Lock, Unlock
+from repro.kernel.sync import Semaphore, make_lock
 from repro.kernel.thread import SimThread
 from repro.workloads.tpch.queries import QueryPlan, SubQuery
 
@@ -49,14 +49,28 @@ class DatabaseServer:
         Small relative jitter on piece execution (buffer pool state,
         I/O interleaving) — gives symmetric configurations their tight
         but non-identical clustering, as in Figure 4.
+    lock_kind:
+        Kind of the shared buffer-pool latch every agent takes before
+        running a piece ("fifo"/"spin"/"mcs"/"asym", DESIGN.md §11).
+    latch_cycles:
+        Latch hold time per piece (page-table lookup and pin, fast-core
+        cycles).  Zero disables the latch entirely.
     """
 
     def __init__(self, system: System, n_processes: Optional[int] = None,
-                 execution_jitter: float = 0.01) -> None:
+                 execution_jitter: float = 0.01,
+                 lock_kind: str = "fifo",
+                 latch_cycles: float = 25e3) -> None:
+        if latch_cycles < 0:
+            raise ValueError("latch_cycles must be non-negative")
         self.system = system
         n_cores = system.machine.n_cores
         self.n_processes = n_processes or 2 * n_cores
         self.execution_jitter = execution_jitter
+        self.latch_cycles = latch_cycles
+        self._buffer_pool_latch = (
+            make_lock(lock_kind, "db2-bufferpool")
+            if latch_cycles > 0 else None)
         self.dispatch_rng = system.sim.stream("db2.dispatch")
         self.exec_rng = system.sim.stream("db2.exec")
         self.processes: List[_ServerProcess] = []
@@ -117,6 +131,13 @@ class DatabaseServer:
             if not process.queue:
                 continue
             piece = process.queue.popleft()
+            if self._buffer_pool_latch is not None:
+                # Pin the piece's pages in the shared buffer pool.  The
+                # latch is released before the scan itself so only the
+                # (short) pin serializes, not the whole sub-query.
+                yield Lock(self._buffer_pool_latch)
+                yield Compute(self.latch_cycles)
+                yield Unlock(self._buffer_pool_latch)
             yield Compute(self.exec_rng.jitter(piece.cycles,
                                                self.execution_jitter))
             self.system.kernel.semaphore_release(self._completions)

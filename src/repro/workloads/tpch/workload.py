@@ -27,18 +27,23 @@ class TpchPowerRun(Workload):
 
     def __init__(self, parallel_degree: int = 4,
                  optimization_degree: int = MAX_OPT_DEGREE,
-                 queries: Optional[List[int]] = None) -> None:
+                 queries: Optional[List[int]] = None,
+                 lock_kind: str = "fifo",
+                 latch_cycles: float = 25e3) -> None:
         self.parallel_degree = parallel_degree
         self.optimization_degree = optimization_degree
         self.queries = list(queries) if queries is not None \
             else all_queries()
+        self.lock_kind = lock_kind
+        self.latch_cycles = latch_cycles
 
     # ------------------------------------------------------------------
     def run_once(self, config: str, seed: int = 0,
                  scheduler_factory: Optional[SchedulerFactory] = None,
                  ) -> RunResult:
         system = self.build_system(config, seed, scheduler_factory)
-        server = DatabaseServer(system)
+        server = DatabaseServer(system, lock_kind=self.lock_kind,
+                                latch_cycles=self.latch_cycles)
         query_times: Dict[int, float] = {}
 
         def power_run():
@@ -67,9 +72,12 @@ class TpchQuery(Workload):
     higher_is_better = False
 
     def __init__(self, query: int = 3, parallel_degree: int = 4,
-                 optimization_degree: int = MAX_OPT_DEGREE) -> None:
+                 optimization_degree: int = MAX_OPT_DEGREE,
+                 lock_kind: str = "fifo",
+                 latch_cycles: float = 25e3) -> None:
         self._power = TpchPowerRun(parallel_degree, optimization_degree,
-                                   queries=[query])
+                                   queries=[query], lock_kind=lock_kind,
+                                   latch_cycles=latch_cycles)
         self.query = query
 
     def run_once(self, config: str, seed: int = 0,

@@ -29,8 +29,8 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro._system import System
-from repro.kernel.instructions import Acquire, Compute, Sleep, Spawn
-from repro.kernel.sync import Semaphore
+from repro.kernel.instructions import Acquire, Compute, Lock, Sleep, Spawn, Unlock
+from repro.kernel.sync import Semaphore, make_lock
 from repro.kernel.thread import SimThread
 from repro.workloads.webserver.client import Request
 
@@ -67,6 +67,12 @@ class ApacheServer:
         Blocking socket read/write time per request.
     fork_latency / fork_cycles:
         Control-process cost of forking one replacement worker.
+    lock_kind:
+        Kind of the accept-serialization mutex ("fifo"/"spin"/"mcs"/
+        "asym", DESIGN.md §11) — Apache's cross-process accept mutex.
+    accept_cycles:
+        Held time per accept: dequeue the connection or register in
+        the idle list (fast-core cycles).  Zero disables the mutex.
     """
 
     name = "apache"
@@ -81,11 +87,15 @@ class ApacheServer:
                  fork_cycles: float = 1.4e6,
                  startup_latency: float = 0.150,
                  startup_cycles: float = 8.4e6,
-                 initial_startup_latency: float = 0.050) -> None:
+                 initial_startup_latency: float = 0.050,
+                 lock_kind: str = "spin",
+                 accept_cycles: float = 15e3) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if recycle_after < 1:
             raise ValueError("recycle_after must be >= 1")
+        if accept_cycles < 0:
+            raise ValueError("accept_cycles must be non-negative")
         self.system = system
         self.n_workers = n_workers
         self.recycle_after = recycle_after
@@ -101,6 +111,9 @@ class ApacheServer:
         #: window (server startup is never measured); replacement
         #: children forked during the run pay the full child-init.
         self.initial_startup_latency = initial_startup_latency
+        self.accept_cycles = accept_cycles
+        self._accept_lock = (make_lock(lock_kind, "apache-acceptq")
+                             if accept_cycles > 0 else None)
         self.rng = system.sim.stream("apache.service")
 
         #: Idle workers in FIFO order: the era's kernels wake exclusive
@@ -170,12 +183,22 @@ class ApacheServer:
             yield Compute(self.startup_cycles)
         while True:
             if worker.request is None:
+                if self._accept_lock is not None:
+                    # Apache's cross-process accept mutex: only one
+                    # worker at a time may pop the connection backlog
+                    # or park itself in the idle list.
+                    yield Lock(self._accept_lock)
+                    yield Compute(self.accept_cycles)
                 if self._backlog:
                     worker.request = self._backlog.popleft()
                     worker.request.start_time = self.system.now
+                    if self._accept_lock is not None:
+                        yield Unlock(self._accept_lock)
                 else:
                     # No connection pending: go idle in accept().
                     self._idle.append(worker)
+                    if self._accept_lock is not None:
+                        yield Unlock(self._accept_lock)
                     yield Acquire(worker.gate)
                     continue
             request = worker.request

@@ -81,16 +81,21 @@ class ApacheWorkload(_WebWorkload):
     name = "Apache"
 
     def __init__(self, load: str = "light", fine_grained: bool = False,
-                 n_workers: int = 16, **kwargs) -> None:
+                 n_workers: int = 16, lock_kind: str = "spin",
+                 accept_cycles: float = 15e3, **kwargs) -> None:
         super().__init__(load, **kwargs)
         self.fine_grained = fine_grained
         self.n_workers = n_workers
+        self.lock_kind = lock_kind
+        self.accept_cycles = accept_cycles
 
     def _build_server(self, system):
         recycle = (FINE_GRAINED_RECYCLE_AFTER if self.fine_grained
                    else DEFAULT_RECYCLE_AFTER)
         return ApacheServer(system, n_workers=self.n_workers,
-                            recycle_after=recycle)
+                            recycle_after=recycle,
+                            lock_kind=self.lock_kind,
+                            accept_cycles=self.accept_cycles)
 
     def _extra_metrics(self, server, metrics) -> None:
         metrics["forks"] = float(server.forks)

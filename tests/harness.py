@@ -49,6 +49,7 @@ from repro.metrics import (
 )
 from repro.sim import trace as _trace
 from repro.sim.trace import FLIGHT_RECORDER_CAPACITY, TraceRecord, Tracer
+from repro.workloads.lockstress import LockStress
 from repro.workloads.specjbb import SpecJBB
 from repro.workloads.tpch.workload import TpchQuery
 
@@ -354,12 +355,39 @@ def _golden_fault_storm() -> Dict[str, Any]:
     }
 
 
+def _golden_lock_storm() -> Dict[str, Any]:
+    """Lock-heavy run under a throttle storm (slow-holder regime).
+
+    LockStress on the asymmetric machine with transient throttles
+    hitting every core: holders get slowed mid-critical-section, so
+    the fixture pins the interaction between the lock layer
+    (DESIGN.md §11) and the fault machinery — handoff bookkeeping,
+    queue-depth peaks and the spin/busy conservation books.
+    """
+    workload = LockStress(n_threads=8, lock_kind="asym",
+                          duration=0.4).with_faults(
+        FaultSchedule.throttle_storm(
+            seed=5, duration=0.4, cores=range(4),
+            events_per_second=25.0, recovery_mean=0.02))
+    result = _traced_run_once("lock_storm_2f-2s_seed5", workload,
+                              "2f-2s/8", seed=5)
+    return {
+        "kind": "run",
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+        "run_metrics": result.run_metrics.as_dict(),
+    }
+
+
 #: name -> zero-argument callable producing the canonical payload.
 GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "specjbb_2f-2s_stock_seed42": _golden_specjbb,
     "tpch_q3_1f-3s_asym_seed7": _golden_tpch,
     "sched_trace_1f-3s_asym_seed11": _golden_sched_trace,
     "fault_storm_2f-2s_seed5": _golden_fault_storm,
+    "lock_storm_2f-2s_seed5": _golden_lock_storm,
 }
 
 

@@ -100,10 +100,10 @@ class TestReport:
 
 
 class TestExhibitRegistry:
-    def test_all_twelve_exhibits_present(self):
+    def test_all_thirteen_exhibits_present(self):
         expected = {"fig01", "fig02", "fig03", "fig04", "fig05",
                     "fig06", "fig07", "fig08", "fig09", "fig10",
-                    "fig11", "table1"}
+                    "fig11", "fig12", "table1"}
         assert set(ALL_EXHIBITS) == expected
 
     def test_every_exhibit_has_run_and_render(self):

@@ -15,6 +15,10 @@ may differ).  For every matched run it reports:
   runs' event streams differ, with both events printed;
 * **per-core busy-time deltas**: total ``exec`` span time per core
   track on each side;
+* **per-lock span-count deltas**: how many ``block`` spans each named
+  lock (``lock <name>`` spans, see DESIGN.md §11) contributed on each
+  side — the first thing to check when a handoff-policy change moves
+  a timeline;
 * **histogram shifts**: count/mean/p95 movement of each latency
   histogram embedded in the trace's ``otherData`` summary.
 
@@ -115,6 +119,17 @@ def core_busy(events: List[Dict[str, Any]]) -> Dict[int, float]:
     return busy
 
 
+def lock_span_counts(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    """Block-span count per named lock (spans named ``lock <name>``)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = event.get("name", "")
+        if event.get("ph") == "X" and event.get("cat") == "block" \
+                and name.startswith("lock "):
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
 # ----------------------------------------------------------------------
 # Histogram summaries (same bucket convention as repro.histogram:
 # integer keys are binary exponents; bucket e covers (2**(e-1), 2**e]).
@@ -201,6 +216,17 @@ def diff_run(key: RunKey, trace_a: Dict[str, Any],
                 else f"  ({right_busy - left_busy:+.6f})"
             print(f"    {label}: {left_busy:.6f} -> "
                   f"{right_busy:.6f}{marker}")
+    locks_a, locks_b = lock_span_counts(events_a), \
+        lock_span_counts(events_b)
+    if locks_a or locks_b:
+        print("  per-lock block spans:")
+        for name in sorted(set(locks_a) | set(locks_b)):
+            left_count = locks_a.get(name, 0)
+            right_count = locks_b.get(name, 0)
+            marker = "" if left_count == right_count \
+                else f"  ({right_count - left_count:+d})"
+            print(f"    {name}: {left_count} -> "
+                  f"{right_count}{marker}")
     if shifts:
         print("  histogram shifts:")
         print("\n".join(shifts))
