@@ -94,6 +94,17 @@ COALESCE_SPEEDUP_FLOOR = 3.0
 CONTENDED_EVENT_REDUCTION_FLOOR = 5.0
 CONTENDED_SPEEDUP_FLOOR = 2.0
 
+#: Floor for the scenario service's warm/cold ratio
+#: (service_throughput, benchmarks/test_service_throughput.py): a
+#: fully cached resubmission of the same sweep must beat the cold
+#: (simulate-everything) pass by at least this factor.  Both passes
+#: are measured over the same connection in the same run, so the
+#: ratio is host-independent; the measured margin is ~80x.  The hard
+#: pin next to it — warm_simulations == 0 — is the service's central
+#: guarantee: a warm cache answers without running the simulator at
+#: all, not just faster.
+SERVICE_WARM_SPEEDUP_FLOOR = 3.0
+
 DEFAULT_FRESH = (Path(__file__).resolve().parent
                  / "results" / "BENCH_engine.json")
 
@@ -247,6 +258,39 @@ def check(baseline: dict, fresh: dict,
                             f"{numbers[key]:.0f} vs baseline "
                             f"{pin[key]:.0f} — simulation behaviour "
                             "changed")
+
+    service = fresh.get("service_throughput")
+    if service is not None:
+        if service["warm_simulations"] != 0:
+            failures.append(
+                f"warm service resubmission ran "
+                f"{service['warm_simulations']} simulation(s) — a "
+                "fully cached sweep must run zero")
+        if service["warm_cache_hits"] != service["tasks"]:
+            failures.append(
+                f"warm service resubmission hit the cache for "
+                f"{service['warm_cache_hits']}/{service['tasks']} "
+                "task(s) — the persistent cache is leaking entries")
+        if service["cold_simulations"] != service["tasks"]:
+            failures.append(
+                f"cold service pass simulated "
+                f"{service['cold_simulations']}/{service['tasks']} "
+                "task(s) — the cold benchmark started warm")
+        speedup = service["warm_speedup"]
+        print(f"service cache: {service['tasks']} tasks, "
+              f"warm {speedup:.1f}x faster than cold "
+              f"({service['warm_tasks_per_sec']:,.0f} vs "
+              f"{service['cold_tasks_per_sec']:,.0f} tasks/sec)")
+        if speedup < SERVICE_WARM_SPEEDUP_FLOOR:
+            failures.append(
+                f"warm-cache speedup {speedup:.2f}x below the "
+                f"{SERVICE_WARM_SPEEDUP_FLOOR:.0f}x floor")
+        pinned = baseline.get("service_throughput")
+        if pinned is not None and pinned["tasks"] != service["tasks"]:
+            failures.append(
+                f"service benchmark submitted {service['tasks']} "
+                f"task(s) vs baseline {pinned['tasks']} — the sweep "
+                "shape changed without a baseline update")
 
     base_speedup = baseline["event_queue"].get("speedup_vs_seed")
     fresh_speedup = fresh["event_queue"].get("speedup_vs_seed")

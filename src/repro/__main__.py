@@ -10,6 +10,8 @@ Usage::
     python -m repro validate              # machine self-check
     python -m repro fig01 --trace-out t.json   # Perfetto timeline
     python -m repro sweep --workload tpch --predict  # analytic sweep
+    python -m repro serve --port 7070 --cache-dir /var/cache/repro
+    python -m repro submit --port 7070 --workload specjbb --runs 2
 
 ``--jobs N`` parallelizes the independent simulation runs over N
 worker processes; results are bit-identical to a serial run.
@@ -21,7 +23,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 
 from repro import faults as _faults
 from repro import metrics as _metrics
@@ -100,6 +104,162 @@ def _cmd_sweep(workload_name: str, profile_name: str, predict: bool,
           f"{len(prediction.spot_checks)} spot checks); gate "
           f"tolerance {prediction.tolerance:.1%}, worst spot error "
           f"{prediction.max_spot_error:.1%}")
+    return 0
+
+
+_SERVICE_WORKLOADS = ("specjbb", "tpch", "lockstress")
+
+
+def _cmd_serve(args) -> int:
+    """Run the scenario server until a drain completes."""
+    import asyncio
+    import logging
+    import signal
+    import tempfile
+
+    from repro.service.server import ScenarioServer
+
+    logging.basicConfig(
+        stream=sys.stderr, level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    cache_dir = (args.cache_dir
+                 or os.environ.get("REPRO_SERVICE_CACHE_DIR")
+                 or tempfile.mkdtemp(prefix="repro-service-cache-"))
+
+    async def main() -> None:
+        server = ScenarioServer(
+            host=args.host, port=args.port, cache_dir=cache_dir,
+            jobs=args.jobs or None,
+            max_inflight=args.max_inflight,
+            max_pending_tasks=args.max_pending)
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"(cache: {cache_dir})", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, server.request_shutdown)
+        await server.serve_forever()
+
+    asyncio.run(main())
+    print("server drained and stopped", flush=True)
+    return 0
+
+
+def _read_port(args) -> int:
+    """The submit target port: --port, or read from --port-file."""
+    if args.port_file:
+        deadline = time.monotonic() + args.connect_timeout
+        while True:
+            try:
+                with open(args.port_file, encoding="utf-8") as handle:
+                    text = handle.read().strip()
+                if text:
+                    return int(text)
+            except FileNotFoundError:
+                pass
+            if time.monotonic() >= deadline:
+                raise SystemExit(
+                    f"no port in {args.port_file} after "
+                    f"{args.connect_timeout:.0f}s")
+            time.sleep(0.2)
+    return args.port
+
+
+def _connect_client(args):
+    """A connected ServiceClient, retrying while the server starts."""
+    from repro.service.client import ServiceClient
+
+    port = _read_port(args)
+    deadline = time.monotonic() + args.connect_timeout
+    while True:
+        client = ServiceClient(host=args.host, port=port,
+                               timeout=args.timeout)
+        try:
+            client.connect()
+            return client
+        except OSError:
+            client.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def _cmd_submit(args) -> int:
+    """Submit a sweep (or stats/shutdown) to a running server."""
+    from repro.experiments.report import format_sweep
+    from repro.experiments.runner import ConfigSweep
+    from repro.service.cache import result_from_payload
+    from repro.service.registry import WORKLOADS
+
+    client = _connect_client(args)
+    try:
+        if args.stats:
+            stats = client.stats()
+            for name, value in sorted(stats["counters"].items()):
+                print(f"  {name:40s} {value:g}")
+            print(f"pending_tasks={stats['pending_tasks']} "
+                  f"cache_entries={stats['cache_entries']} "
+                  f"draining={stats['draining']}")
+            return 0
+        if args.shutdown:
+            ack = client.shutdown()
+            print(f"shutdown acknowledged "
+                  f"(draining {ack.get('draining', 0)} task(s))")
+            return 0
+
+        configs = ([label.strip()
+                    for label in args.configs.split(",")
+                    if label.strip()]
+                   if args.configs else list(STANDARD_CONFIG_LABELS))
+        params = json.loads(args.params) if args.params else {}
+        options = {"scheduler": args.scheduler}
+        if args.trace is not None:
+            options["trace"] = sorted(
+                _trace.parse_categories(args.trace))
+        elif args.trace_out is not None:
+            options["trace"] = sorted(_trace.DEFAULT_TRACE_CATEGORIES)
+        if args.no_coalesce:
+            options["coalesce"] = False
+        response = client.sweep(
+            args.workload, configs, runs=args.runs,
+            base_seed=args.seed, params=params, **options)
+    finally:
+        client.close()
+
+    results = [result_from_payload(payload)
+               for payload in response.payloads]
+    workload_cls = WORKLOADS[args.workload][0]
+    sweep = ConfigSweep(workload=workload_cls.name,
+                        primary_metric=workload_cls.primary_metric,
+                        higher_is_better=workload_cls.higher_is_better)
+    ordered = iter(results)
+    for label in configs:
+        sweep.results[label] = [next(ordered)
+                                for _ in range(args.runs)]
+    print(format_sweep(sweep))
+    print(f"service: {response.tasks} task(s), "
+          f"{response.cache_hits} cache hit(s), "
+          f"{response.coalesced} coalesced, "
+          f"{response.simulations_run} simulated")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump({"results": response.payloads}, handle,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {len(response.payloads)} result payload(s) "
+              f"to {args.json_out}")
+    if args.trace_out:
+        count = _trace_export.write_chrome_trace(args.trace_out,
+                                                 results)
+        print(f"wrote {count} trace events to {args.trace_out}")
+    if args.assert_cached and not response.fully_cached:
+        print(f"ASSERTION FAILED: expected a fully cached response "
+              f"but {response.simulations_run} task(s) simulated",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -190,13 +350,17 @@ def main(argv=None) -> int:
                     "paper reproduction.")
     parser.add_argument("exhibit",
                         help="exhibit name (fig01..fig12, table1), "
-                             "'all', 'list', 'validate', or 'sweep' "
+                             "'all', 'list', 'validate', 'sweep' "
                              "(one workload's config sweep; see "
-                             "--workload/--predict)")
+                             "--workload/--predict), 'serve' (run "
+                             "the scenario server) or 'submit' "
+                             "(send a sweep to a running server)")
     parser.add_argument("--workload", default="specjbb",
-                        choices=_SWEEP_WORKLOADS,
-                        help="workload for the 'sweep' command "
-                             "(default: specjbb)")
+                        choices=sorted(set(_SWEEP_WORKLOADS)
+                                       | set(_SERVICE_WORKLOADS)),
+                        help="workload for the 'sweep' and 'submit' "
+                             "commands (default: specjbb; "
+                             "'lockstress' is submit-only)")
     parser.add_argument("--predict", action="store_true",
                         help="with 'sweep': simulate only the USL "
                              "anchor configurations and interpolate "
@@ -243,6 +407,70 @@ def main(argv=None) -> int:
                              "fast path and simulate every timeslice "
                              "individually (slower; results are "
                              "byte-identical either way)")
+    service = parser.add_argument_group(
+        "service options (the 'serve' and 'submit' commands)")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="bind/connect address "
+                              "(default: 127.0.0.1)")
+    service.add_argument("--port", type=int, default=7070,
+                         help="server port; 0 asks the OS for a free "
+                              "one (default: 7070)")
+    service.add_argument("--port-file", metavar="PATH", default=None,
+                         help="serve: write the bound port to PATH; "
+                              "submit: read the port from PATH, "
+                              "waiting up to --connect-timeout")
+    service.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="serve: persistent result cache "
+                              "directory (default: "
+                              "$REPRO_SERVICE_CACHE_DIR or a fresh "
+                              "temporary directory)")
+    service.add_argument("--max-inflight", type=int, default=4,
+                         metavar="N",
+                         help="serve: concurrent simulation batches "
+                              "(default: 4)")
+    service.add_argument("--max-pending", type=int, default=256,
+                         metavar="N",
+                         help="serve: admission-control cap on queued "
+                              "tasks; excess requests get a "
+                              "structured 'overloaded' rejection "
+                              "(default: 256)")
+    service.add_argument("--configs", metavar="LABELS", default=None,
+                         help="submit: comma-separated config labels "
+                              "(default: the standard sweep)")
+    service.add_argument("--runs", type=int, default=2, metavar="N",
+                         help="submit: runs per configuration "
+                              "(default: 2)")
+    service.add_argument("--seed", type=int, default=100,
+                         help="submit: base seed; run i uses "
+                              "seed+i (default: 100)")
+    service.add_argument("--params", metavar="JSON", default=None,
+                         help="submit: workload parameter overrides "
+                              "as a JSON object")
+    service.add_argument("--scheduler", default="stock",
+                         choices=("stock", "asym"),
+                         help="submit: scheduler to simulate "
+                              "(default: stock)")
+    service.add_argument("--json-out", metavar="PATH", default=None,
+                         help="submit: write raw result payloads "
+                              "(canonical JSON) to PATH")
+    service.add_argument("--assert-cached", action="store_true",
+                         help="submit: exit 3 unless the response "
+                              "was served entirely from cache "
+                              "(simulations_run == 0)")
+    service.add_argument("--stats", action="store_true",
+                         help="submit: print server counters instead "
+                              "of running a sweep")
+    service.add_argument("--shutdown", action="store_true",
+                         help="submit: ask the server to drain "
+                              "in-flight work and stop")
+    service.add_argument("--connect-timeout", type=float,
+                         default=30.0, metavar="SECONDS",
+                         help="submit: how long to wait for the "
+                              "server to come up (default: 30)")
+    service.add_argument("--timeout", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="submit: per-request socket timeout "
+                              "(default: 300)")
     args = parser.parse_args(argv)
     if args.trace is not None and args.trace_out is None:
         parser.error("--trace requires --trace-out")
@@ -250,7 +478,15 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.exhibit == "validate":
         return _cmd_validate()
+    if args.exhibit == "serve":
+        return _cmd_serve(args)
+    if args.exhibit == "submit":
+        return _cmd_submit(args)
     if args.exhibit == "sweep":
+        if args.workload not in _SWEEP_WORKLOADS:
+            parser.error(
+                f"--workload {args.workload} is service-only; "
+                f"'sweep' supports {', '.join(_SWEEP_WORKLOADS)}")
         return _cmd_sweep(args.workload, args.profile, args.predict,
                           jobs=args.jobs,
                           spot_checks=args.spot_checks,

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Union
 
 from repro import faults as _faults
 from repro import metrics as _metrics
@@ -108,13 +109,28 @@ def _stable_repr(value: object, _seen: Optional[set] = None) -> str:
     return repr(value)
 
 
-def task_fingerprint(task: RunTask) -> str:
+#: Sentinel distinguishing "no override given" from an explicit None
+#: (None is a meaningful value for both overrides: no tracing, and —
+#: never, for coalescing — so a plain default would be ambiguous).
+_UNSET = object()
+
+
+def task_fingerprint(task: RunTask,
+                     trace_categories: object = _UNSET,
+                     coalesce: object = _UNSET) -> str:
     """Stable cache key for a task.
 
     Two tasks share a fingerprint iff they would produce the same
     :class:`RunResult`: same workload class, same constructor state
     (every instance attribute, recursively), same config, same seed
     and same scheduler factory.
+
+    ``trace_categories`` and ``coalesce`` override the process-wide
+    defaults that are otherwise folded in — the scenario service
+    (:mod:`repro.service`) carries both per request instead of
+    mutating process globals, but its keys must coincide exactly with
+    the ones a CLI run with the same settings would produce, so the
+    disk cache is shared between the two front ends.
     """
     cls = type(task.workload)
     parts = [f"{cls.__module__}.{cls.__qualname__}"]
@@ -135,13 +151,20 @@ def task_fingerprint(task: RunTask) -> str:
             parts.append(f"faults={default.to_json()}")
     # The default trace categories decide whether a RunResult carries a
     # timeline, so traced and untraced runs never share cache entries.
-    categories = _trace.default_categories()
+    categories: Optional[FrozenSet[str]]
+    if trace_categories is _UNSET:
+        categories = _trace.default_categories()
+    else:
+        categories = (frozenset(trace_categories)  # type: ignore[arg-type]
+                      if trace_categories is not None else None)
     if categories:
         parts.append("trace=" + ",".join(sorted(categories)))
     # The resolved coalescing mode is folded in even though coalesced
     # and sliced runs are byte-identical: a cache hit must never mask a
     # divergence the identity tests are trying to catch.
-    parts.append(f"coalesce={_kernel.coalescing_enabled()}")
+    mode = (_kernel.coalescing_enabled() if coalesce is _UNSET
+            else bool(coalesce))
+    parts.append(f"coalesce={mode}")
     if task.predicted:
         # Analytic (USL-interpolated) results live in a disjoint key
         # space from simulated ones: a cache warmed by predict_sweep
@@ -158,31 +181,49 @@ class ResultCache:
 
     Share one instance across several backend calls (or several
     figures) to skip simulations whose inputs have not changed.
+
+    Thread safety: lookup/store and the hit/miss counters mutate under
+    one lock, so a cache shared by concurrent ``execute`` calls (the
+    scenario service runs one backend call per admitted request, each
+    on its own executor thread) keeps ``hits + misses == lookups``
+    exactly.  Before the lock, a backend's pre-scan hit bump could
+    interleave with another thread's post-pool miss/store bump and
+    lose an increment — the counters drifted from the lookup count
+    under load while the entries themselves stayed correct.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[str, RunResult] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Total lookups; always equals ``hits + misses``.
+        self.lookups = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: str) -> Optional[RunResult]:
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            self.lookups += 1
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
 
     def store(self, key: str, result: RunResult) -> None:
-        self._entries[key] = result
+        with self._lock:
+            self._entries[key] = result
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.lookups = 0
 
 
 class SerialBackend:
@@ -254,9 +295,11 @@ class ProcessPoolBackend:
         results: List[Optional[RunResult]] = [None] * len(tasks)
         cache = self.cache
         pending: List[int] = []
+        keys: Dict[int, str] = {}
         for index, task in enumerate(tasks):
             if cache is not None:
-                hit = cache.lookup(task_fingerprint(task))
+                keys[index] = task_fingerprint(task)
+                hit = cache.lookup(keys[index])
                 if hit is not None:
                     results[index] = hit
                     continue
@@ -278,8 +321,10 @@ class ProcessPoolBackend:
                     results[index] = result
                     self.simulations_run += 1
                     if cache is not None:
-                        cache.store(
-                            task_fingerprint(tasks[index]), result)
+                        # The key computed at pre-scan time: fingerprint
+                        # inputs are process globals that a concurrent
+                        # caller could legitimately change mid-execute.
+                        cache.store(keys[index], result)
         sink = _metrics.active_sink()
         if sink is not None:
             sink.extend(results)

@@ -1,0 +1,261 @@
+"""Persistent, fingerprint-keyed result store for the scenario service.
+
+The cache-identity argument (DESIGN.md §12): a task's fingerprint
+(:func:`repro.experiments.parallel.task_fingerprint`) folds the
+workload's full constructor state, the machine configuration, the
+seed, the scheduler factory, the fault schedule, the trace categories
+and the coalescing mode — every input the simulation derives behaviour
+from.  Two requests with the same fingerprint therefore describe the
+*same deterministic computation*, so serving the second from a stored
+copy of the first's :class:`~repro.workloads.base.RunResult` is
+byte-identical to re-simulating by construction, not by luck.
+
+Storage layout: one JSON file per fingerprint under the cache
+directory, written atomically (temp file + ``os.replace``) so a
+concurrent reader never observes a torn entry and a crashed writer
+never corrupts the store.  An in-memory LRU front keeps the hottest
+payloads; hit/miss/eviction counters live in a
+:class:`~repro.metrics.CounterBag` so the service surfaces them
+through the same layer as every other counter in the system.
+
+Everything cached round-trips through :func:`result_to_payload` /
+:func:`result_from_payload` — including memory-front hits — so a cold
+(disk) and a warm (memory) hit return structurally identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.metrics import CounterBag, RunMetrics
+from repro.sim.trace_export import TraceData
+from repro.workloads.base import RunResult
+
+#: Bump when the on-disk entry schema changes; mismatched entries are
+#: treated as misses (and overwritten on the next store).
+CACHE_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# RunResult <-> JSON payload
+# ----------------------------------------------------------------------
+def result_to_payload(result: RunResult) -> Dict[str, Any]:
+    """JSON-ready rendering of a run result, lossless where possible.
+
+    ``coalesce.*`` counters are *included* (they are excluded from the
+    byte-identity surface, but a cache entry should preserve the run
+    verbatim); :func:`canonical_result_json` is the comparison surface.
+    """
+    payload: Dict[str, Any] = {
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+    }
+    if result.run_metrics is not None:
+        payload["run_metrics"] = result.run_metrics.as_dict(
+            include_coalesce=True)
+    if result.trace is not None:
+        payload["trace"] = result.trace.as_dict()
+    return payload
+
+
+def result_from_payload(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_payload`."""
+    run_metrics = payload.get("run_metrics")
+    trace = payload.get("trace")
+    return RunResult(
+        workload=payload["workload"],
+        config=payload["config"],
+        seed=payload["seed"],
+        metrics=dict(payload["metrics"]),
+        run_metrics=(RunMetrics.from_dict(run_metrics)
+                     if run_metrics is not None else None),
+        trace=(TraceData.from_dict(trace)
+               if trace is not None else None),
+    )
+
+
+def canonical_result_json(result: RunResult) -> str:
+    """The byte-identity surface of one run.
+
+    Deterministic JSON (sorted keys, no whitespace variance) over the
+    same observable surface the golden fixtures pin: workload metrics,
+    the :class:`RunMetrics` snapshot *without* ``coalesce.*``
+    self-measurement counters, and the trace when present.  Two runs
+    are "byte-identical" for the service's guarantees iff these
+    strings match.
+    """
+    surface: Dict[str, Any] = {
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+    }
+    if result.run_metrics is not None:
+        surface["run_metrics"] = result.run_metrics.as_dict()
+    if result.trace is not None:
+        surface["trace"] = result.trace.as_dict()
+    return json.dumps(surface, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Disk-persistent cache with an in-memory LRU front
+# ----------------------------------------------------------------------
+class DiskResultCache:
+    """Fingerprint-keyed result store: LRU memory front, JSON files.
+
+    API-compatible with
+    :class:`repro.experiments.parallel.ResultCache` (``lookup`` /
+    ``store`` / ``hits`` / ``misses`` / ``lookups`` / ``clear``), so
+    the existing backends accept it unchanged; the service reaches the
+    payload layer directly via :meth:`lookup_payload` /
+    :meth:`store_payload` to avoid re-serializing on every response.
+
+    Thread safety mirrors the in-memory cache: counters and the LRU
+    structure mutate under one lock, so shared use from concurrent
+    backend executions keeps ``hits + misses == lookups`` exact.
+    Disk I/O happens outside the lock; atomic replace makes concurrent
+    writers of the same fingerprint last-writer-wins with no torn
+    state (both wrote the identical bytes anyway — see the module
+    docstring's identity argument).
+    """
+
+    def __init__(self, directory: str,
+                 max_memory_entries: int = 256) -> None:
+        if max_memory_entries < 0:
+            raise ValueError("max_memory_entries must be >= 0")
+        self.directory = directory
+        self.max_memory_entries = max_memory_entries
+        os.makedirs(directory, exist_ok=True)
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: service.cache.* counters, surfaced by the server's ``stats``
+        #: response next to the rest of the service counters.
+        self.counters = CounterBag()
+
+    # -- ResultCache-compatible counter surface ------------------------
+    @property
+    def hits(self) -> int:
+        return int(self.counters.get("service.cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.counters.get("service.cache.misses"))
+
+    @property
+    def lookups(self) -> int:
+        return int(self.counters.get("service.cache.lookups"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self.counters.get("service.cache.evictions"))
+
+    def __len__(self) -> int:
+        """Entries on disk (the persistent tier is the cache's size)."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        return sum(1 for name in names if name.endswith(".json"))
+
+    # -- internals -----------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _remember(self, key: str, payload: Dict[str, Any]) -> None:
+        """Promote ``key`` in the LRU front (caller holds no lock)."""
+        with self._lock:
+            self._memory.pop(key, None)
+            if self.max_memory_entries == 0:
+                return
+            self._memory[key] = payload
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self.counters.incr("service.cache.evictions")
+
+    def _read_disk(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if (entry.get("format") != CACHE_FORMAT
+                or entry.get("fingerprint") != key):
+            return None
+        payload = entry.get("result")
+        return payload if isinstance(payload, dict) else None
+
+    # -- payload API ---------------------------------------------------
+    def lookup_payload(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for a fingerprint, or None (a miss)."""
+        with self._lock:
+            self.counters.incr("service.cache.lookups")
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.counters.incr("service.cache.hits")
+                self.counters.incr("service.cache.memory_hits")
+                return payload
+        payload = self._read_disk(key)
+        with self._lock:
+            if payload is None:
+                self.counters.incr("service.cache.misses")
+                return None
+            self.counters.incr("service.cache.hits")
+            self.counters.incr("service.cache.disk_hits")
+        self._remember(key, payload)
+        return payload
+
+    def store_payload(self, key: str, payload: Dict[str, Any]) -> None:
+        """Persist one result payload atomically and front-load it."""
+        entry = {"format": CACHE_FORMAT, "fingerprint": key,
+                 "result": payload}
+        text = json.dumps(entry, sort_keys=True)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=f".tmp-{key[:16]}-", suffix=".json",
+            dir=self.directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except FileNotFoundError:
+                pass
+            raise
+        with self._lock:
+            self.counters.incr("service.cache.stores")
+        self._remember(key, payload)
+
+    # -- ResultCache-compatible object API -----------------------------
+    def lookup(self, key: str) -> Optional[RunResult]:
+        payload = self.lookup_payload(key)
+        if payload is None:
+            return None
+        return result_from_payload(payload)
+
+    def store(self, key: str, result: RunResult) -> None:
+        self.store_payload(key, result_to_payload(result))
+
+    def clear(self) -> None:
+        """Drop every entry (disk and memory) and reset counters."""
+        with self._lock:
+            self._memory.clear()
+            self.counters = CounterBag()
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except FileNotFoundError:
+                    pass

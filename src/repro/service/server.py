@@ -1,0 +1,519 @@
+r"""The asyncio scenario server: simulation-as-a-service.
+
+One long-running process owns a warm
+:class:`~repro.service.pool.ShardedPoolExecutor` and a persistent
+:class:`~repro.service.cache.DiskResultCache`; clients connect over
+TCP and exchange newline-delimited JSON
+(:mod:`repro.service.protocol`).  Per request the server:
+
+1. validates the scenario and expands it to the deterministic task
+   order a local :class:`~repro.experiments.runner.Runner` would use;
+2. fingerprints every task and serves known results from the cache;
+3. coalesces duplicates of *in-flight* tasks onto the first
+   requester's pending future (a second client submitting the same
+   scenario while it simulates waits for the one execution instead of
+   triggering another);
+4. admits the remaining fresh work against a bounded queue
+   (``max_pending_tasks``) — over the bound the request is rejected
+   with a structured ``overloaded`` error instead of queueing without
+   limit — and batches it onto the warm pool, at most
+   ``max_inflight`` batches simulating concurrently;
+5. stores fresh results in the cache, resolves duplicate waiters,
+   streams retiring runs to ``subscribe``-d connections, and answers
+   with results reassembled in task order.
+
+Backpressure state machine (DESIGN.md §12)::
+
+    accepting --shutdown(drain)--> draining --batches done--> closed
+        \--request over bound--> reject "overloaded" (stay accepting)
+    draining: new scenario requests reject "shutting_down";
+              stats/ping still answered; in-flight batches finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.kernel import kernel as _kernel
+from repro.metrics import CounterBag, MetricsSink
+from repro.experiments.parallel import task_fingerprint
+from repro.service import protocol
+from repro.service.cache import (
+    DiskResultCache,
+    result_to_payload,
+)
+from repro.service.pool import ShardedPoolExecutor, WorkerCrashError
+
+log = logging.getLogger("repro.service")
+
+#: Per-connection line limit: requests are small, but responses carry
+#: traces; the read limit only bounds *incoming* lines.
+_READ_LIMIT = 4 * 1024 * 1024
+
+
+class StreamingMetricsSink(MetricsSink):
+    """A :class:`~repro.metrics.MetricsSink` that fans out, not up.
+
+    ``extend`` publishes each retiring run to every subscribed
+    connection's queue instead of accumulating records in memory (a
+    daemon would otherwise grow without bound).  Slow subscribers drop
+    records once their queue is full — counted, never blocking the
+    serving path.
+    """
+
+    def __init__(self, counters: CounterBag,
+                 queue_size: int = 1024) -> None:
+        super().__init__()
+        self.queue_size = queue_size
+        self._counters = counters
+        self._queues: Set[asyncio.Queue] = set()
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.queue_size)
+        self._queues.add(queue)
+        self._counters.set_max("service.stream.max_subscribers",
+                               len(self._queues))
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        self._queues.discard(queue)
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._queues)
+
+    def extend(self, results) -> None:
+        for result in results:
+            record: Dict[str, Any] = {
+                "workload": result.workload,
+                "config": result.config,
+                "seed": result.seed,
+                "metrics": dict(result.metrics),
+            }
+            if result.run_metrics is not None:
+                record["run_metrics"] = result.run_metrics.as_dict()
+            self._counters.incr("service.stream.published")
+            for queue in self._queues:
+                try:
+                    queue.put_nowait(record)
+                except asyncio.QueueFull:
+                    self._counters.incr("service.stream.dropped")
+
+
+class ScenarioServer:
+    """Async scenario server over the experiment machinery.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    cache:
+        Result cache; anything with the
+        :class:`~repro.service.cache.DiskResultCache` payload API.
+        ``cache_dir`` builds one; both ``None`` disables caching.
+    executor:
+        Simulation executor with a blocking
+        ``run_tasks(tasks, trace_categories, coalesce)`` method;
+        default is a warm :class:`ShardedPoolExecutor` with ``jobs``
+        workers.  Tests inject stubs here.
+    max_inflight:
+        Batches simulating concurrently; admitted batches over this
+        wait their turn (still counted as pending).
+    max_pending_tasks:
+        Bound on admitted-but-unfinished fresh tasks across all
+        requests — the service's backpressure valve.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache: Optional[DiskResultCache] = None,
+                 cache_dir: Optional[str] = None,
+                 jobs: Optional[int] = None,
+                 executor: Optional[Any] = None,
+                 max_inflight: int = 4,
+                 max_pending_tasks: int = 256) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_pending_tasks < 1:
+            raise ValueError("max_pending_tasks must be >= 1")
+        self.host = host
+        self.port = port
+        if cache is None and cache_dir is not None:
+            cache = DiskResultCache(cache_dir)
+        self.cache = cache
+        self.executor = executor if executor is not None \
+            else ShardedPoolExecutor(jobs=jobs)
+        self.max_inflight = max_inflight
+        self.max_pending_tasks = max_pending_tasks
+        self.counters = CounterBag()
+        self.sink = StreamingMetricsSink(self.counters)
+        self.draining = False
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_inflight,
+            thread_name_prefix="repro-service")
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending_tasks = 0
+        self._batch_gate: Optional[asyncio.Semaphore] = None
+        self._batches: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.Task] = set()
+        self._stopped: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._batch_gate = asyncio.Semaphore(self.max_inflight)
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_READ_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("serving on %s:%d (max_inflight=%d, "
+                 "max_pending_tasks=%d, cache=%s)",
+                 self.host, self.port, self.max_inflight,
+                 self.max_pending_tasks,
+                 getattr(self.cache, "directory", None) or "disabled")
+
+    async def serve_forever(self) -> None:
+        """Run until a drain completes (shutdown request or signal)."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; signal-handler safe)."""
+        if self.draining:
+            return
+        self.draining = True
+        log.info("drain requested: %d batch(es) in flight, "
+                 "%d pending task(s)", len(self._batches),
+                 self._pending_tasks)
+        asyncio.ensure_future(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        while self._batches:
+            await asyncio.gather(*list(self._batches),
+                                 return_exceptions=True)
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, stop the pool, release the loop."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            connection.cancel()
+        if self._connections:
+            await asyncio.gather(*list(self._connections),
+                                 return_exceptions=True)
+        self._threads.shutdown(wait=False)
+        shutdown = getattr(self.executor, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+        if self._stopped is not None:
+            self._stopped.set()
+        log.info("server closed")
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        self.counters.incr("service.connections")
+        self._connections.add(asyncio.current_task())
+        stream_task: Optional[asyncio.Task] = None
+        queue: Optional[asyncio.Queue] = None
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(protocol.encode(
+                        protocol.error_response(
+                            None, "invalid",
+                            ["request line too long"])))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response, wants_stream = await self._dispatch(line)
+                if wants_stream and stream_task is None:
+                    queue = self.sink.subscribe()
+                    stream_task = asyncio.ensure_future(
+                        self._stream_records(queue, writer))
+                if response is not None:
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                if response is not None \
+                        and response.get("type") == "shutdown":
+                    self.request_shutdown()
+        except (ConnectionError, asyncio.CancelledError):
+            # Cancellation means the server is closing; finish the
+            # connection's cleanup instead of propagating noise into
+            # the stream machinery's done-callbacks.
+            pass
+        finally:
+            self._connections.discard(asyncio.current_task())
+            if stream_task is not None:
+                stream_task.cancel()
+            if queue is not None:
+                self.sink.unsubscribe(queue)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            log.debug("connection from %s closed", peer)
+
+    async def _dispatch(self, line: bytes) -> Tuple[
+            Optional[Dict[str, Any]], bool]:
+        """One request line -> (response, wants metrics streaming)."""
+        self.counters.incr("service.requests")
+        try:
+            message = protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            self.counters.incr("service.rejected.invalid")
+            return protocol.error_response(
+                None, "invalid", exc.messages), False
+        kind = message["type"]
+        request_id = message.get("id")
+        if kind == "ping":
+            return {"type": "pong", "id": request_id}, False
+        if kind == "stats":
+            return self._stats_response(request_id), False
+        if kind == "shutdown":
+            return {"type": "shutdown", "id": request_id,
+                    "draining": self._pending_tasks}, False
+        if kind == "subscribe":
+            self.counters.incr("service.subscribes")
+            return {"type": "subscribed", "id": request_id}, True
+        return await self._handle_scenario(message), False
+
+    # ------------------------------------------------------------------
+    # Scenario execution
+    # ------------------------------------------------------------------
+    async def _handle_scenario(
+            self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = message.get("id")
+        try:
+            request = protocol.parse_scenario(message)
+        except protocol.ProtocolError as exc:
+            self.counters.incr("service.rejected.invalid")
+            log.warning("invalid %s request: %s", message.get("type"),
+                        "; ".join(exc.messages))
+            return protocol.error_response(
+                request_id, "invalid", exc.messages)
+        if self.draining:
+            self.counters.incr("service.rejected.shutting_down")
+            return protocol.error_response(
+                request_id, "shutting_down",
+                ["server is draining; resubmit elsewhere"])
+        self.counters.incr(f"service.{message['type']}s")
+
+        # Per-request observability settings resolve against the
+        # server's own defaults so a request that says nothing gets
+        # the mode the operator launched the service with.
+        coalesce = (request.coalesce if request.coalesce is not None
+                    else _kernel.coalescing_enabled())
+        categories = request.trace_categories
+
+        # Classify every task without awaiting (the scan is atomic on
+        # the event loop): cache hit, duplicate of in-flight work, or
+        # fresh.  ``order`` drives response reassembly in task order.
+        order: List[Tuple[str, Any]] = []
+        fresh: Dict[str, Any] = {}
+        cache_hits = 0
+        coalesced = 0
+        for task in request.tasks:
+            key = task_fingerprint(task, trace_categories=categories,
+                                   coalesce=coalesce)
+            payload = (self.cache.lookup_payload(key)
+                       if self.cache is not None else None)
+            if payload is not None:
+                cache_hits += 1
+                order.append(("payload", payload))
+                continue
+            future = self._inflight.get(key)
+            if future is not None:
+                coalesced += 1
+                self.counters.incr("service.inflight_coalesced")
+                order.append(("future", future))
+                continue
+            if key in fresh:
+                # Duplicate within one request (e.g. the same config
+                # listed twice): simulate once, reuse the payload.
+                coalesced += 1
+                self.counters.incr("service.inflight_coalesced")
+                order.append(("key", key))
+                continue
+            fresh[key] = task
+            order.append(("key", key))
+
+        # Admission control: the bounded queue counts fresh tasks
+        # admitted but not yet finished, across all requests.
+        if self._pending_tasks + len(fresh) > self.max_pending_tasks:
+            self.counters.incr("service.rejected.overloaded")
+            log.warning(
+                "overloaded: %d fresh task(s) would exceed the "
+                "pending bound (%d/%d)", len(fresh),
+                self._pending_tasks, self.max_pending_tasks)
+            return protocol.error_response(
+                request_id, "overloaded",
+                [f"{len(fresh)} fresh task(s) would exceed the "
+                 f"pending bound ({self._pending_tasks} pending, "
+                 f"max {self.max_pending_tasks}); retry later"],
+                pending_tasks=self._pending_tasks,
+                max_pending_tasks=self.max_pending_tasks)
+
+        payloads: Dict[str, Any] = {}
+        if fresh:
+            loop = asyncio.get_running_loop()
+            for key in fresh:
+                self._inflight[key] = loop.create_future()
+            self._pending_tasks += len(fresh)
+            batch = asyncio.ensure_future(
+                self._run_batch(request, dict(fresh), categories,
+                                coalesce))
+            self._batches.add(batch)
+            batch.add_done_callback(self._batches.discard)
+            try:
+                payloads = await batch
+            except WorkerCrashError as exc:
+                self.counters.incr("service.worker_crashes")
+                log.error("worker crash serving %s: %s",
+                          request.workload_name, exc)
+                return protocol.error_response(
+                    request_id, "worker_crashed", [str(exc)],
+                    tasks=len(exc.tasks))
+            except Exception as exc:  # noqa: BLE001 - simulation bug
+                self.counters.incr("service.internal_errors")
+                log.exception("internal error serving %s",
+                              request.workload_name)
+                return protocol.error_response(
+                    request_id, "internal",
+                    [f"{type(exc).__name__}: {exc}"])
+
+        results: List[Dict[str, Any]] = []
+        try:
+            for source, value in order:
+                if source == "payload":
+                    results.append(value)
+                elif source == "key":
+                    results.append(payloads[value])
+                else:
+                    results.append(await value)
+        except WorkerCrashError as exc:
+            # A duplicate of another request's batch, and that batch's
+            # worker died: surface the same structured error.
+            self.counters.incr("service.worker_crashes")
+            return protocol.error_response(
+                request_id, "worker_crashed", [str(exc)],
+                tasks=len(exc.tasks))
+        except Exception as exc:  # noqa: BLE001
+            self.counters.incr("service.internal_errors")
+            return protocol.error_response(
+                request_id, "internal",
+                [f"{type(exc).__name__}: {exc}"])
+        log.info("%s %s: %d task(s), %d cache hit(s), %d coalesced, "
+                 "%d simulated", message["type"],
+                 request.workload_name, len(order), cache_hits,
+                 coalesced, len(fresh))
+        return {
+            "type": "result", "id": request_id,
+            "workload": request.workload_name,
+            "tasks": len(order),
+            "cache_hits": cache_hits,
+            "coalesced": coalesced,
+            "simulations_run": len(fresh),
+            "results": results,
+        }
+
+    async def _run_batch(self, request: protocol.ScenarioRequest,
+                         fresh: Dict[str, Any],
+                         categories, coalesce: bool) -> Dict[str, Any]:
+        """Execute one request's fresh tasks on the warm pool.
+
+        Runs in its own asyncio task so a graceful drain can await
+        every in-flight batch.  Resolves the registered in-flight
+        futures — with payloads on success, with the error on failure
+        — and always releases the pending-task budget.
+        """
+        assert self._batch_gate is not None
+        keys = list(fresh)
+        tasks = [fresh[key] for key in keys]
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._batch_gate:
+                results = await loop.run_in_executor(
+                    self._threads, self.executor.run_tasks,
+                    tasks, categories, coalesce)
+            payloads: Dict[str, Any] = {}
+            for key, result in zip(keys, results):
+                payload = result_to_payload(result)
+                payloads[key] = payload
+                if self.cache is not None:
+                    self.cache.store_payload(key, payload)
+            self.counters.incr("service.simulations_run",
+                               len(results))
+            self.sink.extend(results)
+            for key in keys:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(payloads[key])
+            return payloads
+        except BaseException as exc:
+            for key in keys:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+                    # Nobody may be waiting; don't warn about it.
+                    future.exception()
+            raise
+        finally:
+            self._pending_tasks -= len(keys)
+
+    # ------------------------------------------------------------------
+    # Stats and streaming
+    # ------------------------------------------------------------------
+    def _stats_response(self, request_id: Any) -> Dict[str, Any]:
+        counters = dict(self.counters.as_dict())
+        if self.cache is not None:
+            counters.update(self.cache.counters.as_dict())
+        executor_counters = getattr(self.executor, "counters", None)
+        if executor_counters is not None:
+            counters.update(executor_counters.as_dict())
+        return {
+            "type": "stats", "id": request_id,
+            "counters": counters,
+            "pending_tasks": self._pending_tasks,
+            "inflight_keys": len(self._inflight),
+            "subscribers": self.sink.subscribers,
+            "draining": self.draining,
+            "cache_entries": (len(self.cache)
+                              if self.cache is not None else 0),
+        }
+
+    async def _stream_records(self, queue: asyncio.Queue,
+                              writer: asyncio.StreamWriter) -> None:
+        """Push ``metrics`` lines to one subscribed connection."""
+        try:
+            while True:
+                record = await queue.get()
+                writer.write(protocol.encode(
+                    {"type": "metrics", "record": record}))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.sink.unsubscribe(queue)

@@ -125,6 +125,41 @@ class TestResultCache:
                          RunTask(_workload(), "2f-2s/8", 100)])
         assert backend.simulations_run == 3
 
+    def test_accounting_exact_under_concurrent_execute(self):
+        """Regression: hit/miss accounting raced under concurrency.
+
+        Two backends sharing one cache and executing overlapping task
+        lists from concurrent threads must keep the counter invariant
+        ``hits + misses == lookups`` exact — the unlocked counters
+        used to lose updates when lookups interleaved.
+        """
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache()
+        tasks = [RunTask(_workload(), config, seed)
+                 for config in CONFIGS for seed in (100, 101)]
+        barrier = threading.Barrier(3)
+
+        def execute():
+            backend = ProcessPoolBackend(jobs=2, cache=cache)
+            barrier.wait()
+            for _ in range(3):
+                backend.execute(tasks)
+            return backend
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            backends = [future.result()
+                        for future in [pool.submit(execute)
+                                       for _ in range(3)]]
+        assert cache.lookups == 3 * 3 * len(tasks)
+        assert cache.hits + cache.misses == cache.lookups
+        # Every distinct task simulated at least once, and the warm
+        # iterations were all hits.
+        assert cache.misses >= len(tasks)
+        total = sum(b.simulations_run for b in backends)
+        assert total == cache.misses
+
 
 class TestFingerprint:
     def test_same_task_same_fingerprint(self):

@@ -1,0 +1,236 @@
+"""Tests for the service's persistent result cache.
+
+The contracts under test: a cached payload round-trips a
+:class:`RunResult` losslessly (the warm path is byte-identical to the
+cold path on the canonical surface), the disk tier survives process
+boundaries, the LRU memory front evicts without losing data, and the
+hit/miss counters stay exact (``hits + misses == lookups``) under
+concurrent use.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunTask,
+    SerialBackend,
+    execute_task,
+    task_fingerprint,
+)
+from repro.service.cache import (
+    CACHE_FORMAT,
+    DiskResultCache,
+    canonical_result_json,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.sim import trace as _trace
+from repro.workloads.lockstress import LockStress
+from repro.workloads.tpch import TpchQuery
+
+
+def _task(seed=100, config="2f-2s/8"):
+    return RunTask(
+        TpchQuery(3, parallel_degree=2, optimization_degree=3),
+        config, seed)
+
+
+def _run(task):
+    return execute_task(task)
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_lossless_on_the_canonical_surface(self):
+        result = _run(_task())
+        rebuilt = result_from_payload(result_to_payload(result))
+        assert canonical_result_json(rebuilt) == \
+            canonical_result_json(result)
+
+    def test_round_trip_preserves_run_metrics_verbatim(self):
+        result = _run(_task())
+        rebuilt = result_from_payload(result_to_payload(result))
+        assert rebuilt.run_metrics is not None
+        assert rebuilt.run_metrics.as_dict(include_coalesce=True) == \
+            result.run_metrics.as_dict(include_coalesce=True)
+
+    def test_round_trip_preserves_traces(self):
+        previous = _trace.default_categories()
+        _trace.install_default_categories(
+            frozenset(_trace.DEFAULT_TRACE_CATEGORIES))
+        try:
+            result = _run(_task())
+        finally:
+            _trace.install_default_categories(previous)
+        assert result.trace is not None
+        rebuilt = result_from_payload(result_to_payload(result))
+        assert rebuilt.trace is not None
+        assert rebuilt.trace.as_dict() == result.trace.as_dict()
+        assert canonical_result_json(rebuilt) == \
+            canonical_result_json(result)
+
+    def test_payload_is_json_serializable_deterministically(self):
+        payload = result_to_payload(_run(_task()))
+        once = json.dumps(payload, sort_keys=True)
+        again = json.dumps(
+            result_to_payload(_run(_task())), sort_keys=True)
+        assert once == again
+
+
+class TestDiskResultCache:
+    def test_store_then_lookup_hits(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        result = _run(_task())
+        cache.store("abc", result)
+        hit = cache.lookup("abc")
+        assert hit is not None
+        assert canonical_result_json(hit) == \
+            canonical_result_json(result)
+        assert cache.hits == 1 and cache.misses == 0
+        assert len(cache) == 1
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        assert cache.lookup("nope") is None
+        assert (cache.hits, cache.misses, cache.lookups) == (0, 1, 1)
+
+    def test_entries_survive_a_new_cache_instance(self, tmp_path):
+        result = _run(_task())
+        DiskResultCache(str(tmp_path)).store("abc", result)
+        reopened = DiskResultCache(str(tmp_path))
+        hit = reopened.lookup("abc")
+        assert hit is not None
+        assert canonical_result_json(hit) == \
+            canonical_result_json(result)
+        assert reopened.counters.get("service.cache.disk_hits") == 1
+
+    def test_lru_front_evicts_but_disk_still_serves(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path), max_memory_entries=2)
+        result = _run(_task())
+        for key in ("a", "b", "c"):
+            cache.store(key, result)
+        assert cache.evictions == 1
+        assert len(cache) == 3  # disk keeps everything
+        hit = cache.lookup("a")  # evicted from memory -> disk hit
+        assert hit is not None
+        assert cache.counters.get("service.cache.disk_hits") == 1
+        assert cache.counters.get("service.cache.memory_hits") == 0
+
+    def test_memory_front_can_be_disabled(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path), max_memory_entries=0)
+        cache.store("a", _run(_task()))
+        assert cache.lookup("a") is not None
+        assert cache.counters.get("service.cache.disk_hits") == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.lookup("bad") is None
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        entry = {"format": CACHE_FORMAT + 1, "fingerprint": "old",
+                 "result": result_to_payload(_run(_task()))}
+        (tmp_path / "old.json").write_text(json.dumps(entry))
+        assert cache.lookup("old") is None
+
+    def test_clear_drops_disk_and_counters(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        cache.store("a", _run(_task()))
+        cache.lookup("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.lookups) == (0, 0)
+        assert cache.lookup("a") is None
+
+    def test_backends_accept_it_as_a_result_cache(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path))
+        backend = SerialBackend(cache=cache)
+        tasks = [_task(seed) for seed in (100, 101)]
+        backend.execute(tasks)
+        assert backend.simulations_run == 2
+        backend.execute(tasks)
+        assert backend.simulations_run == 2  # all warm
+        assert cache.hits == 2
+
+    def test_counters_exact_under_concurrent_use(self, tmp_path):
+        cache = DiskResultCache(str(tmp_path), max_memory_entries=4)
+        payload = result_to_payload(_run(_task()))
+        keys = [f"k{i}" for i in range(8)]
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(25):
+                for key in keys:
+                    if cache.lookup_payload(key) is None:
+                        cache.store_payload(key, payload)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.lookups == 4 * 25 * len(keys)
+        assert cache.hits + cache.misses == cache.lookups
+
+
+class TestPersistentCacheDrift:
+    """Cross-process cache identity: the CI drift leg's anchor.
+
+    The first run (cold step) simulates and seeds the cache; a later
+    run in a *different process* pointed at the same directory via
+    ``REPRO_SERVICE_CACHE_DIR`` must get a payload whose canonical
+    JSON is byte-identical to a fresh local simulation — any drift in
+    serialization, fingerprinting or simulation determinism fails
+    this test in the warm step.
+    """
+
+    @pytest.fixture
+    def cache_dir(self, tmp_path):
+        return os.environ.get("REPRO_SERVICE_CACHE_DIR",
+                              str(tmp_path))
+
+    def _anchor_task(self):
+        return RunTask(
+            LockStress(n_threads=4, duration=0.01), "2f-2s/8", 7)
+
+    def test_warm_payload_matches_a_fresh_simulation(self, cache_dir):
+        cache = DiskResultCache(cache_dir)
+        task = self._anchor_task()
+        key = task_fingerprint(task)
+        fresh = _run(self._anchor_task())
+        stored = cache.lookup_payload(key)
+        if stored is None:  # cold step: seed the cache
+            cache.store_payload(key, result_to_payload(fresh))
+            stored = cache.lookup_payload(key)
+        assert stored is not None
+        assert canonical_result_json(result_from_payload(stored)) == \
+            canonical_result_json(fresh)
+
+    def test_fingerprint_stable_across_equal_tasks(self, cache_dir):
+        assert task_fingerprint(self._anchor_task()) == \
+            task_fingerprint(self._anchor_task())
+
+    def test_fingerprint_folds_trace_and_coalesce_overrides(self):
+        task = self._anchor_task()
+        base = task_fingerprint(task, trace_categories=None,
+                                coalesce=True)
+        traced = task_fingerprint(task,
+                                  trace_categories=frozenset({"exec"}),
+                                  coalesce=True)
+        sliced = task_fingerprint(task, trace_categories=None,
+                                  coalesce=False)
+        assert len({base, traced, sliced}) == 3
+
+    def test_service_overrides_match_ambient_defaults(self):
+        """Service keys coincide with CLI keys for the same settings."""
+        task = self._anchor_task()
+        from repro.kernel import kernel as _kernel
+        ambient = task_fingerprint(task)
+        explicit = task_fingerprint(
+            task, trace_categories=_trace.default_categories(),
+            coalesce=_kernel.coalescing_enabled())
+        assert ambient == explicit
