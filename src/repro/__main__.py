@@ -12,6 +12,7 @@ Usage::
     python -m repro sweep --workload tpch --predict  # analytic sweep
     python -m repro serve --port 7070 --cache-dir /var/cache/repro
     python -m repro submit --port 7070 --workload specjbb --runs 2
+    python -m repro report --workload specjbb --out-dir reports
 
 ``--jobs N`` parallelizes the independent simulation runs over N
 worker processes; results are bit-identical to a serial run.
@@ -117,6 +118,7 @@ def _cmd_serve(args) -> int:
     import signal
     import tempfile
 
+    from repro.service.cache import DiskResultCache
     from repro.service.server import ScenarioServer
 
     logging.basicConfig(
@@ -125,16 +127,22 @@ def _cmd_serve(args) -> int:
     cache_dir = (args.cache_dir
                  or os.environ.get("REPRO_SERVICE_CACHE_DIR")
                  or tempfile.mkdtemp(prefix="repro-service-cache-"))
+    cache = DiskResultCache(
+        cache_dir,
+        max_disk_entries=args.cache_max_entries,
+        max_disk_bytes=args.cache_max_bytes)
 
     async def main() -> None:
         server = ScenarioServer(
-            host=args.host, port=args.port, cache_dir=cache_dir,
+            host=args.host, port=args.port, cache=cache,
             jobs=args.jobs or None,
             max_inflight=args.max_inflight,
-            max_pending_tasks=args.max_pending)
+            max_pending_tasks=args.max_pending,
+            ledger_path=args.ledger)
         await server.start()
+        ledger_note = f", ledger: {args.ledger}" if args.ledger else ""
         print(f"serving on {server.host}:{server.port} "
-              f"(cache: {cache_dir})", flush=True)
+              f"(cache: {cache_dir}{ledger_note})", flush=True)
         if args.port_file:
             with open(args.port_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{server.port}\n")
@@ -187,6 +195,38 @@ def _connect_client(args):
             time.sleep(0.2)
 
 
+def _print_stats(stats) -> None:
+    """Render a ``stats`` response as aligned tables and charts."""
+    from repro.experiments.report import format_histogram, format_table
+    from repro.histogram import LatencyHistogram
+
+    rows = [[name, f"{value:g}"]
+            for name, value in sorted(stats["counters"].items())]
+    print(format_table(["counter", "value"], rows))
+    cache = stats.get("cache")
+    if cache:
+        bounds = []
+        if cache.get("max_disk_entries") is not None:
+            bounds.append(f"max {cache['max_disk_entries']} entries")
+        if cache.get("max_disk_bytes") is not None:
+            bounds.append(f"max {cache['max_disk_bytes']} bytes")
+        bound = f" ({', '.join(bounds)})" if bounds else " (unbounded)"
+        print(f"cache: {cache['disk_entries']} on disk, "
+              f"{cache['disk_bytes']} bytes{bound}; "
+              f"{cache['memory_entries']} of "
+              f"{cache['max_memory_entries']} in memory")
+    for name, payload in sorted((stats.get("latency") or {}).items()):
+        histogram = LatencyHistogram.from_dict(payload)
+        if histogram.count:
+            print()
+            print(format_histogram(name, histogram))
+    ledger = stats.get("ledger") or {}
+    print(f"pending_tasks={stats['pending_tasks']} "
+          f"cache_entries={stats['cache_entries']} "
+          f"ledger_records={ledger.get('records', 0)} "
+          f"draining={stats['draining']}")
+
+
 def _cmd_submit(args) -> int:
     """Submit a sweep (or stats/shutdown) to a running server."""
     from repro.experiments.report import format_sweep
@@ -197,12 +237,7 @@ def _cmd_submit(args) -> int:
     client = _connect_client(args)
     try:
         if args.stats:
-            stats = client.stats()
-            for name, value in sorted(stats["counters"].items()):
-                print(f"  {name:40s} {value:g}")
-            print(f"pending_tasks={stats['pending_tasks']} "
-                  f"cache_entries={stats['cache_entries']} "
-                  f"draining={stats['draining']}")
+            _print_stats(client.stats())
             return 0
         if args.shutdown:
             ack = client.shutdown()
@@ -274,13 +309,66 @@ def _cmd_validate() -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    """Generate a per-workload performance report (md + JSON)."""
+    from repro.analysis.perf_report import generate_report_files
+
+    configs = ([label.strip() for label in args.configs.split(",")
+                if label.strip()] if args.configs else None)
+    params = json.loads(args.params) if args.params else None
+    md_path, json_path = generate_report_files(
+        args.workload, args.out_dir,
+        configs=configs, runs=args.runs, base_seed=args.seed,
+        jobs=args.jobs, params=params,
+        stock_results=args.stock_results,
+        asym_results=args.asym_results,
+        ledger_path=args.ledger,
+        bench_path=args.bench,
+        bench_baseline_path=args.bench_baseline,
+        golden_dir=args.golden_dir)
+    print(f"wrote {md_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+def _default_bench_paths():
+    """Committed BENCH trajectory/pin, when the checkout has them."""
+    from pathlib import Path
+    results = Path(__file__).resolve().parents[2] \
+        / "benchmarks" / "results"
+    engine = results / "BENCH_engine.json"
+    baseline = results / "BENCH_baseline.json"
+    return (str(engine) if engine.is_file() else None,
+            str(baseline) if baseline.is_file() else None)
+
+
+def _bench_comparison(bench_path: str, baseline_path: str):
+    """Per-metric current/pinned/ratio rows for --metrics-out."""
+    from repro.analysis.perf_report import compare_to_baseline
+
+    if not bench_path or not baseline_path:
+        return None
+    try:
+        with open(bench_path, encoding="utf-8") as handle:
+            current = json.load(handle)
+        with open(baseline_path, encoding="utf-8") as handle:
+            pinned = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return {"current_path": bench_path,
+            "baseline_path": baseline_path,
+            "comparison": compare_to_baseline(current, pinned)}
+
+
 def _cmd_exhibit(name: str, profile_name: str,
                  jobs: int = 0,
                  metrics_out: str = None,
                  faults_path: str = None,
                  trace_out: str = None,
                  trace_spec: str = None,
-                 no_coalesce: bool = False) -> int:
+                 no_coalesce: bool = False,
+                 bench_path: str = None,
+                 bench_baseline_path: str = None) -> int:
     profile = get_profile(profile_name)
     if name == "all":
         names = list(ALL_EXHIBITS)
@@ -328,12 +416,16 @@ def _cmd_exhibit(name: str, profile_name: str,
         if no_coalesce:
             _kernel.install_coalescing(True)
     if sink is not None:
+        payload = {"format": 1, "records": sink.as_payload()}
+        bench = _bench_comparison(bench_path, bench_baseline_path)
+        if bench is not None:
+            payload["bench"] = bench
         with open(metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(sink.as_payload(), handle,
-                      indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        note = " (with bench baseline comparison)" if bench else ""
         print(f"wrote {len(sink.records)} run metrics "
-              f"records to {metrics_out}")
+              f"records to {metrics_out}{note}")
     if trace_sink is not None:
         count = _trace_export.write_chrome_trace(
             trace_out, trace_sink.records)
@@ -353,8 +445,10 @@ def main(argv=None) -> int:
                              "'all', 'list', 'validate', 'sweep' "
                              "(one workload's config sweep; see "
                              "--workload/--predict), 'serve' (run "
-                             "the scenario server) or 'submit' "
-                             "(send a sweep to a running server)")
+                             "the scenario server), 'submit' "
+                             "(send a sweep to a running server) or "
+                             "'report' (render a per-workload "
+                             "performance report)")
     parser.add_argument("--workload", default="specjbb",
                         choices=sorted(set(_SWEEP_WORKLOADS)
                                        | set(_SERVICE_WORKLOADS)),
@@ -434,6 +528,21 @@ def main(argv=None) -> int:
                               "tasks; excess requests get a "
                               "structured 'overloaded' rejection "
                               "(default: 256)")
+    service.add_argument("--cache-max-entries", type=int,
+                         default=None, metavar="N",
+                         help="serve: bound the disk cache tier to N "
+                              "result files, evicting least-recently "
+                              "used (default: unbounded)")
+    service.add_argument("--cache-max-bytes", type=int,
+                         default=None, metavar="BYTES",
+                         help="serve: bound the disk cache tier's "
+                              "total payload bytes "
+                              "(default: unbounded)")
+    service.add_argument("--ledger", metavar="PATH", default=None,
+                         help="serve: append one JSONL run-ledger "
+                              "record per request to PATH; "
+                              "report: summarize the ledger at PATH "
+                              "into the report's service section")
     service.add_argument("--configs", metavar="LABELS", default=None,
                          help="submit: comma-separated config labels "
                               "(default: the standard sweep)")
@@ -471,6 +580,37 @@ def main(argv=None) -> int:
                          metavar="SECONDS",
                          help="submit: per-request socket timeout "
                               "(default: 300)")
+    report = parser.add_argument_group(
+        "report options (the 'report' command; also --metrics-out)")
+    report.add_argument("--out-dir", metavar="DIR", default="reports",
+                        help="report: directory receiving "
+                             "report_<workload>.{md,json} "
+                             "(default: reports)")
+    report.add_argument("--stock-results", metavar="PATH",
+                        default=None,
+                        help="report: stock-scheduler result payloads "
+                             "from 'submit --json-out' instead of "
+                             "simulating locally (requires "
+                             "--asym-results)")
+    report.add_argument("--asym-results", metavar="PATH",
+                        default=None,
+                        help="report: asym-scheduler result payloads "
+                             "from 'submit --json-out' (requires "
+                             "--stock-results)")
+    report.add_argument("--bench", metavar="PATH", default=None,
+                        help="report/--metrics-out: current benchmark "
+                             "trajectory JSON (default: the "
+                             "checkout's BENCH_engine.json for "
+                             "--metrics-out)")
+    report.add_argument("--bench-baseline", metavar="PATH",
+                        default=None,
+                        help="report/--metrics-out: pinned benchmark "
+                             "baseline JSON (default: the checkout's "
+                             "BENCH_baseline.json for --metrics-out)")
+    report.add_argument("--golden-dir", metavar="DIR", default=None,
+                        help="report: golden fixture directory whose "
+                             "metadata the report lists "
+                             "(e.g. tests/golden)")
     args = parser.parse_args(argv)
     if args.trace is not None and args.trace_out is None:
         parser.error("--trace requires --trace-out")
@@ -482,6 +622,8 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.exhibit == "submit":
         return _cmd_submit(args)
+    if args.exhibit == "report":
+        return _cmd_report(args)
     if args.exhibit == "sweep":
         if args.workload not in _SWEEP_WORKLOADS:
             parser.error(
@@ -491,12 +633,16 @@ def main(argv=None) -> int:
                           jobs=args.jobs,
                           spot_checks=args.spot_checks,
                           tolerance=args.tolerance)
+    default_bench, default_baseline = _default_bench_paths()
     return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
                         metrics_out=args.metrics_out,
                         faults_path=args.faults,
                         trace_out=args.trace_out,
                         trace_spec=args.trace,
-                        no_coalesce=args.no_coalesce)
+                        no_coalesce=args.no_coalesce,
+                        bench_path=args.bench or default_bench,
+                        bench_baseline_path=(args.bench_baseline
+                                             or default_baseline))
 
 
 if __name__ == "__main__":

@@ -25,6 +25,14 @@ from repro.analysis.usl import (
     fit_usl,
     scaling_axis,
 )
+from repro.analysis.perf_report import (
+    REPORT_FORMAT,
+    build_report,
+    compare_to_baseline,
+    generate_report_files,
+    render_markdown,
+    sweep_from_payloads,
+)
 
 __all__ = [
     "Summary",
@@ -44,4 +52,10 @@ __all__ = [
     "fit_usl",
     "compute_power",
     "scaling_axis",
+    "REPORT_FORMAT",
+    "build_report",
+    "compare_to_baseline",
+    "generate_report_files",
+    "render_markdown",
+    "sweep_from_payloads",
 ]

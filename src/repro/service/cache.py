@@ -117,6 +117,16 @@ class DiskResultCache:
     payload layer directly via :meth:`lookup_payload` /
     :meth:`store_payload` to avoid re-serializing on every response.
 
+    The disk tier is bounded too (ROADMAP's open gap): pass
+    ``max_disk_entries`` and/or ``max_disk_bytes`` and the store
+    evicts least-recently-used entries — mirroring the memory front's
+    policy — unlinking their files and counting
+    ``service.cache.disk_evictions`` /
+    ``service.cache.disk_evicted_bytes``.  The LRU index survives a
+    restart by seeding from the directory in mtime order; lookups and
+    stores promote their entry.  Both bounds default to ``None``
+    (unbounded), the pre-existing behaviour.
+
     Thread safety mirrors the in-memory cache: counters and the LRU
     structure mutate under one lock, so shared use from concurrent
     backend executions keeps ``hits + misses == lookups`` exact.
@@ -127,17 +137,31 @@ class DiskResultCache:
     """
 
     def __init__(self, directory: str,
-                 max_memory_entries: int = 256) -> None:
+                 max_memory_entries: int = 256,
+                 max_disk_entries: Optional[int] = None,
+                 max_disk_bytes: Optional[int] = None) -> None:
         if max_memory_entries < 0:
             raise ValueError("max_memory_entries must be >= 0")
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError("max_disk_entries must be >= 1")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError("max_disk_bytes must be >= 1")
         self.directory = directory
         self.max_memory_entries = max_memory_entries
+        self.max_disk_entries = max_disk_entries
+        self.max_disk_bytes = max_disk_bytes
         os.makedirs(directory, exist_ok=True)
         self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Disk-tier LRU index: fingerprint -> entry size in bytes,
+        #: oldest first.  Seeded from the directory (mtime order) so a
+        #: restarted service keeps evicting least-recently-used.
+        self._disk: "OrderedDict[str, int]" = OrderedDict()
+        self._disk_bytes = 0
         self._lock = threading.Lock()
         #: service.cache.* counters, surfaced by the server's ``stats``
         #: response next to the rest of the service counters.
         self.counters = CounterBag()
+        self._scan_disk()
 
     # -- ResultCache-compatible counter surface ------------------------
     @property
@@ -156,17 +180,103 @@ class DiskResultCache:
     def evictions(self) -> int:
         return int(self.counters.get("service.cache.evictions"))
 
+    @property
+    def disk_evictions(self) -> int:
+        return int(self.counters.get("service.cache.disk_evictions"))
+
+    @property
+    def disk_bytes(self) -> int:
+        """Bytes the disk tier currently holds (per the LRU index)."""
+        with self._lock:
+            return self._disk_bytes
+
     def __len__(self) -> int:
-        """Entries on disk (the persistent tier is the cache's size)."""
+        """Entries on disk (the persistent tier is the cache's size;
+        in-flight temp files — dotfiles — are not entries)."""
         try:
             names = os.listdir(self.directory)
         except FileNotFoundError:
             return 0
-        return sum(1 for name in names if name.endswith(".json"))
+        return sum(1 for name in names
+                   if name.endswith(".json")
+                   and not name.startswith("."))
+
+    def stats(self) -> Dict[str, Any]:
+        """Tier occupancy and bounds for the ``stats`` response."""
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "max_memory_entries": self.max_memory_entries,
+                "disk_entries": len(self._disk),
+                "disk_bytes": self._disk_bytes,
+                "max_disk_entries": self.max_disk_entries,
+                "max_disk_bytes": self.max_disk_bytes,
+            }
 
     # -- internals -----------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.json")
+
+    def _scan_disk(self) -> None:
+        """Seed the disk LRU index from the directory, oldest first."""
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return
+        found = []
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            try:
+                info = os.stat(os.path.join(self.directory, name))
+            except FileNotFoundError:
+                continue
+            found.append((info.st_mtime, name[:-len(".json")],
+                          info.st_size))
+        with self._lock:
+            for _, key, size in sorted(found):
+                self._disk[key] = size
+                self._disk_bytes += size
+        self._evict_disk()
+
+    def _evict_disk(self, keep: Optional[str] = None) -> None:
+        """Drop least-recently-used disk entries down to the bounds.
+
+        ``keep`` protects the entry just stored: a single oversized
+        payload must not evict itself (the store still lands; the
+        *other* entries make room).  Unlinks happen outside the lock —
+        a concurrent reader of a victim loses the race and records a
+        plain miss, exactly as if the entry had expired earlier.
+        """
+        victims = []
+        with self._lock:
+            while self._disk:
+                over_entries = (
+                    self.max_disk_entries is not None
+                    and len(self._disk) > self.max_disk_entries)
+                over_bytes = (
+                    self.max_disk_bytes is not None
+                    and self._disk_bytes > self.max_disk_bytes)
+                if not (over_entries or over_bytes):
+                    break
+                key = next(iter(self._disk))
+                if key == keep and len(self._disk) == 1:
+                    break
+                if key == keep:
+                    self._disk.move_to_end(key)
+                    continue
+                size = self._disk.pop(key)
+                self._disk_bytes -= size
+                self._memory.pop(key, None)
+                self.counters.incr("service.cache.disk_evictions")
+                self.counters.incr("service.cache.disk_evicted_bytes",
+                                   size)
+                victims.append(key)
+        for key in victims:
+            try:
+                os.unlink(self._path(key))
+            except FileNotFoundError:
+                pass
 
     def _remember(self, key: str, payload: Dict[str, Any]) -> None:
         """Promote ``key`` in the LRU front (caller holds no lock)."""
@@ -199,6 +309,10 @@ class DiskResultCache:
             payload = self._memory.get(key)
             if payload is not None:
                 self._memory.move_to_end(key)
+                if key in self._disk:
+                    # Recency is unified: a hot key served from
+                    # memory must not be the disk tier's LRU victim.
+                    self._disk.move_to_end(key)
                 self.counters.incr("service.cache.hits")
                 self.counters.incr("service.cache.memory_hits")
                 return payload
@@ -209,6 +323,8 @@ class DiskResultCache:
                 return None
             self.counters.incr("service.cache.hits")
             self.counters.incr("service.cache.disk_hits")
+            if key in self._disk:
+                self._disk.move_to_end(key)
         self._remember(key, payload)
         return payload
 
@@ -232,6 +348,10 @@ class DiskResultCache:
             raise
         with self._lock:
             self.counters.incr("service.cache.stores")
+            self._disk_bytes -= self._disk.pop(key, 0)
+            self._disk[key] = len(text)
+            self._disk_bytes += len(text)
+        self._evict_disk(keep=key)
         self._remember(key, payload)
 
     # -- ResultCache-compatible object API -----------------------------
@@ -248,6 +368,8 @@ class DiskResultCache:
         """Drop every entry (disk and memory) and reset counters."""
         with self._lock:
             self._memory.clear()
+            self._disk.clear()
+            self._disk_bytes = 0
             self.counters = CounterBag()
         try:
             names = os.listdir(self.directory)

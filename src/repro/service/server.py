@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import math
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.histogram import LatencyHistogram
 from repro.kernel import kernel as _kernel
 from repro.metrics import CounterBag, MetricsSink
 from repro.experiments.parallel import task_fingerprint
@@ -45,6 +48,7 @@ from repro.service.cache import (
     DiskResultCache,
     result_to_payload,
 )
+from repro.service.ledger import RunLedger, request_digest
 from repro.service.pool import ShardedPoolExecutor, WorkerCrashError
 
 log = logging.getLogger("repro.service")
@@ -126,6 +130,12 @@ class ScenarioServer:
     max_pending_tasks:
         Bound on admitted-but-unfinished fresh tasks across all
         requests — the service's backpressure valve.
+    ledger, ledger_path:
+        Optional :class:`~repro.service.ledger.RunLedger` (or a path
+        to build one at) receiving exactly one JSONL record per
+        request.  The ledger is outside the byte-identity surface,
+        like tracing; the per-request queue-wait/execute latency
+        histograms in :attr:`latency` are maintained either way.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
@@ -134,7 +144,9 @@ class ScenarioServer:
                  jobs: Optional[int] = None,
                  executor: Optional[Any] = None,
                  max_inflight: int = 4,
-                 max_pending_tasks: int = 256) -> None:
+                 max_pending_tasks: int = 256,
+                 ledger: Optional[RunLedger] = None,
+                 ledger_path: Optional[str] = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if max_pending_tasks < 1:
@@ -148,6 +160,15 @@ class ScenarioServer:
             else ShardedPoolExecutor(jobs=jobs)
         self.max_inflight = max_inflight
         self.max_pending_tasks = max_pending_tasks
+        if ledger is None and ledger_path is not None:
+            ledger = RunLedger(ledger_path)
+        self.ledger = ledger
+        #: Always-on per-request service latency distributions
+        #: (ledger-independent, surfaced by ``stats``).
+        self.latency: Dict[str, LatencyHistogram] = {
+            "queue_wait_seconds": LatencyHistogram(),
+            "execute_seconds": LatencyHistogram(),
+        }
         self.counters = CounterBag()
         self.sink = StreamingMetricsSink(self.counters)
         self.draining = False
@@ -218,6 +239,8 @@ class ScenarioServer:
         shutdown = getattr(self.executor, "shutdown", None)
         if shutdown is not None:
             shutdown()
+        if self.ledger is not None:
+            self.ledger.close()
         if self._stopped is not None:
             self._stopped.set()
         log.info("server closed")
@@ -276,6 +299,12 @@ class ScenarioServer:
                 pass
             log.debug("connection from %s closed", peer)
 
+    def _record_request(self, entry: Dict[str, Any]) -> None:
+        """Account one request in the ledger (exactly once each)."""
+        if self.ledger is not None:
+            self.counters.incr("service.ledger.records")
+            self.ledger.record(entry)
+
     async def _dispatch(self, line: bytes) -> Tuple[
             Optional[Dict[str, Any]], bool]:
         """One request line -> (response, wants metrics streaming)."""
@@ -284,19 +313,27 @@ class ScenarioServer:
             message = protocol.decode_line(line)
         except protocol.ProtocolError as exc:
             self.counters.incr("service.rejected.invalid")
+            self._record_request({"request": "invalid",
+                                  "outcome": "invalid"})
             return protocol.error_response(
                 None, "invalid", exc.messages), False
         kind = message["type"]
         request_id = message.get("id")
         if kind == "ping":
+            self._record_request({"request": "ping", "outcome": "ok"})
             return {"type": "pong", "id": request_id}, False
         if kind == "stats":
+            self._record_request({"request": "stats", "outcome": "ok"})
             return self._stats_response(request_id), False
         if kind == "shutdown":
+            self._record_request({"request": "shutdown",
+                                  "outcome": "ok"})
             return {"type": "shutdown", "id": request_id,
                     "draining": self._pending_tasks}, False
         if kind == "subscribe":
             self.counters.incr("service.subscribes")
+            self._record_request({"request": "subscribe",
+                                  "outcome": "ok"})
             return {"type": "subscribed", "id": request_id}, True
         return await self._handle_scenario(message), False
 
@@ -305,6 +342,23 @@ class ScenarioServer:
     # ------------------------------------------------------------------
     async def _handle_scenario(
             self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one scenario request and ledger it exactly once."""
+        entry: Dict[str, Any] = {"request": message.get("type")}
+        try:
+            response = await self._scenario_response(message, entry)
+        except BaseException:
+            entry["outcome"] = "internal"
+            self._record_request(entry)
+            raise
+        entry["outcome"] = (response["error"]
+                            if response.get("type") == "error"
+                            else "ok")
+        self._record_request(entry)
+        return response
+
+    async def _scenario_response(
+            self, message: Dict[str, Any],
+            entry: Dict[str, Any]) -> Dict[str, Any]:
         request_id = message.get("id")
         try:
             request = protocol.parse_scenario(message)
@@ -328,16 +382,21 @@ class ScenarioServer:
                     else _kernel.coalescing_enabled())
         categories = request.trace_categories
 
+        entry["workload"] = request.workload_name
+        entry["scheduler"] = request.scheduler
+
         # Classify every task without awaiting (the scan is atomic on
         # the event loop): cache hit, duplicate of in-flight work, or
         # fresh.  ``order`` drives response reassembly in task order.
         order: List[Tuple[str, Any]] = []
         fresh: Dict[str, Any] = {}
+        keys: List[str] = []
         cache_hits = 0
         coalesced = 0
         for task in request.tasks:
             key = task_fingerprint(task, trace_categories=categories,
                                    coalesce=coalesce)
+            keys.append(key)
             payload = (self.cache.lookup_payload(key)
                        if self.cache is not None else None)
             if payload is not None:
@@ -359,6 +418,11 @@ class ScenarioServer:
                 continue
             fresh[key] = task
             order.append(("key", key))
+        entry["fingerprint"] = request_digest(keys)
+        entry["tasks"] = len(order)
+        entry["cache_hits"] = cache_hits
+        entry["coalesced"] = coalesced
+        entry["fresh"] = len(fresh)
 
         # Admission control: the bounded queue counts fresh tasks
         # admitted but not yet finished, across all requests.
@@ -384,7 +448,7 @@ class ScenarioServer:
             self._pending_tasks += len(fresh)
             batch = asyncio.ensure_future(
                 self._run_batch(request, dict(fresh), categories,
-                                coalesce))
+                                coalesce, entry))
             self._batches.add(batch)
             batch.add_done_callback(self._batches.discard)
             try:
@@ -439,25 +503,58 @@ class ScenarioServer:
             "results": results,
         }
 
+    def _note_batch(self, entry: Optional[Dict[str, Any]], name: str,
+                    value: float,
+                    tasks: Optional[int] = None) -> None:
+        """Record one batch latency (and, once, shard placement)."""
+        if entry is None:
+            return
+        entry[name] = value
+        if tasks is None:
+            return
+        shard_size = getattr(self.executor, "shard_size", None)
+        jobs = getattr(self.executor, "jobs", None)
+        if not shard_size and jobs:
+            # The pool's default split: ~2 shards per worker.
+            shard_size = max(1, (tasks + 2 * jobs - 1) // (2 * jobs))
+        entry["shards"] = (math.ceil(tasks / shard_size)
+                           if shard_size else 1)
+        if jobs is not None:
+            entry["jobs"] = jobs
+
     async def _run_batch(self, request: protocol.ScenarioRequest,
                          fresh: Dict[str, Any],
-                         categories, coalesce: bool) -> Dict[str, Any]:
+                         categories, coalesce: bool,
+                         entry: Optional[Dict[str, Any]] = None,
+                         ) -> Dict[str, Any]:
         """Execute one request's fresh tasks on the warm pool.
 
         Runs in its own asyncio task so a graceful drain can await
         every in-flight batch.  Resolves the registered in-flight
         futures — with payloads on success, with the error on failure
-        — and always releases the pending-task budget.
+        — and always releases the pending-task budget.  Queue-wait
+        (admission to batch-gate acquisition) and execute (pool wall
+        time) land in :attr:`latency` and, when given, in the
+        request's ledger ``entry``.
         """
         assert self._batch_gate is not None
         keys = list(fresh)
         tasks = [fresh[key] for key in keys]
         loop = asyncio.get_running_loop()
+        admitted = time.monotonic()
         try:
             async with self._batch_gate:
+                queue_wait = time.monotonic() - admitted
+                self.latency["queue_wait_seconds"].add(queue_wait)
+                self._note_batch(entry, "queue_wait_seconds",
+                                 queue_wait, len(tasks))
+                started = time.monotonic()
                 results = await loop.run_in_executor(
                     self._threads, self.executor.run_tasks,
                     tasks, categories, coalesce)
+                executed = time.monotonic() - started
+                self.latency["execute_seconds"].add(executed)
+                self._note_batch(entry, "execute_seconds", executed)
             payloads: Dict[str, Any] = {}
             for key, result in zip(keys, results):
                 payload = result_to_payload(result)
@@ -493,6 +590,7 @@ class ScenarioServer:
         executor_counters = getattr(self.executor, "counters", None)
         if executor_counters is not None:
             counters.update(executor_counters.as_dict())
+        cache_stats = getattr(self.cache, "stats", None)
         return {
             "type": "stats", "id": request_id,
             "counters": counters,
@@ -502,6 +600,16 @@ class ScenarioServer:
             "draining": self.draining,
             "cache_entries": (len(self.cache)
                               if self.cache is not None else 0),
+            "cache": (cache_stats() if cache_stats is not None
+                      else None),
+            "latency": {name: histogram.as_dict()
+                        for name, histogram in self.latency.items()},
+            "ledger": {
+                "path": (self.ledger.path
+                         if self.ledger is not None else None),
+                "records": int(
+                    self.counters.get("service.ledger.records")),
+            },
         }
 
     async def _stream_records(self, queue: asyncio.Queue,

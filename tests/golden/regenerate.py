@@ -26,11 +26,19 @@ sys.path.insert(0, str(ROOT))
 from tests import harness  # noqa: E402
 
 
+def _all_fixture_files():
+    """Every fixture as (label, filename, fresh text) triples."""
+    for name, build in harness.GOLDEN_RUNS.items():
+        yield name, f"{name}.json", harness.canonical_json(build())
+    for group, build in harness.GOLDEN_FILES.items():
+        for filename, text in sorted(build().items()):
+            yield group, filename, text
+
+
 def regenerate(out_dir: Path) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
-    for name, build in harness.GOLDEN_RUNS.items():
-        path = out_dir / f"{name}.json"
-        text = harness.canonical_json(build())
+    for _, filename, text in _all_fixture_files():
+        path = out_dir / filename
         changed = (not path.exists()
                    or path.read_text(encoding="utf-8") != text)
         path.write_text(text, encoding="utf-8")
@@ -41,20 +49,20 @@ def regenerate(out_dir: Path) -> int:
 def check() -> int:
     """Rebuild in memory and diff against the committed fixtures."""
     drifted = []
-    for name, build in harness.GOLDEN_RUNS.items():
-        path = harness.golden_path(name)
-        fresh = harness.canonical_json(build())
+    for label, filename, fresh in _all_fixture_files():
+        path = harness.GOLDEN_DIR / filename
         if not path.exists():
             print(f"MISSING    {path}")
-            drifted.append(name)
+            drifted.append(label)
         elif path.read_text(encoding="utf-8") != fresh:
             print(f"DRIFTED    {path}")
-            drifted.append(name)
+            drifted.append(label)
         else:
             print(f"unchanged  {path}")
     if drifted:
+        drifted = sorted(set(drifted))
         print(f"\n{len(drifted)} golden fixture(s) out of date: "
-              f"{', '.join(sorted(drifted))}\n"
+              f"{', '.join(drifted)}\n"
               "If the behaviour change is intentional, run "
               "`python tests/golden/regenerate.py` and commit the "
               "diff; otherwise this is a regression.",

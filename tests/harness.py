@@ -391,6 +391,86 @@ GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
 }
 
 
+#: A fixed, hand-written run-ledger slice feeding the report
+#: fixture's service section.  Synthetic on purpose: a live server's
+#: ledger carries wall-clock latencies, so a pinned fixture needs a
+#: frozen one.  Every record must satisfy
+#: :func:`repro.service.ledger.ledger_schema_errors`.
+GOLDEN_LEDGER_RECORDS: List[Dict[str, Any]] = [
+    {"format": 1, "index": 0, "request": "ping", "outcome": "ok"},
+    {"format": 1, "index": 1, "request": "sweep", "outcome": "ok",
+     "workload": "specjbb", "scheduler": "stock",
+     "fingerprint": "00112233445566778899aabbccddeeff",
+     "tasks": 6, "cache_hits": 0, "coalesced": 0, "fresh": 6,
+     "queue_wait_seconds": 1.5e-05, "execute_seconds": 0.125,
+     "shards": 3, "jobs": 2},
+    {"format": 1, "index": 2, "request": "sweep", "outcome": "ok",
+     "workload": "specjbb", "scheduler": "asym",
+     "fingerprint": "ffeeddccbbaa99887766554433221100",
+     "tasks": 6, "cache_hits": 6, "coalesced": 0, "fresh": 0,
+     "queue_wait_seconds": 8e-06},
+    {"format": 1, "index": 3, "request": "stats", "outcome": "ok"},
+    {"format": 1, "index": 4, "request": "sweep",
+     "outcome": "overloaded", "workload": "specjbb",
+     "scheduler": "stock"},
+    {"format": 1, "index": 5, "request": "shutdown", "outcome": "ok"},
+]
+
+
+def golden_report_inputs():
+    """The stock/asym sweeps the report fixture is built from.
+
+    Small but non-trivial: the fixture SpecJBB scale over the three
+    configurations whose USL axes differ, two seeds each — 12 short
+    simulations total.
+    """
+    from repro.experiments.runner import Runner
+
+    workload = SpecJBB(warehouses=2, measurement_seconds=0.4,
+                       warmup_seconds=0.1)
+    kwargs = dict(configs=["4f-0s", "2f-2s/8", "1f-3s/8"],
+                  runs=2, base_seed=100)
+    stock = Runner(**kwargs).run(workload)
+    asym = Runner(scheduler_factory=AsymmetryAwareScheduler,
+                  **kwargs).run(workload)
+    return stock, asym
+
+
+def _golden_report_files() -> Dict[str, str]:
+    """The pinned SpecJBB performance report (markdown + JSON).
+
+    Pins the whole report pipeline byte-exactly: sweep statistics,
+    asym-vs-stock deltas, USL fits and residuals, the variability
+    section, the ledger summary (from :data:`GOLDEN_LEDGER_RECORDS`)
+    and the markdown renderer.  The benchmark-trajectory section is
+    deliberately absent — it would drift on every BENCH pin update.
+    """
+    from repro.analysis.perf_report import (
+        build_report,
+        canonical_report_json,
+        golden_metadata,
+        render_markdown,
+    )
+
+    stock, asym = golden_report_inputs()
+    report = build_report(
+        stock, asym,
+        ledger_records=GOLDEN_LEDGER_RECORDS,
+        golden=golden_metadata(str(GOLDEN_DIR), stock.workload))
+    return {
+        "report_specjbb_quick.json": canonical_report_json(report),
+        "report_specjbb_quick.md": render_markdown(report),
+    }
+
+
+#: group name -> zero-argument callable producing {filename: text}.
+#: Like GOLDEN_RUNS but for fixtures that are not single-run payloads
+#: (one builder may emit several files sharing expensive inputs).
+GOLDEN_FILES: Dict[str, Callable[[], Dict[str, str]]] = {
+    "report_specjbb_quick": _golden_report_files,
+}
+
+
 def golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}.json"
 

@@ -1,0 +1,294 @@
+"""Tests for the performance-report subsystem
+(:mod:`repro.analysis.perf_report`).
+
+The contracts under test:
+
+* the committed ``tests/golden/report_specjbb_quick.{json,md}``
+  fixtures match a fresh build byte-for-byte (the report pipeline is
+  pinned like any other golden surface);
+* generation is **deterministic**: two builds/renders from the same
+  inputs are byte-identical;
+* the report carries the acceptance-criteria sections — throughput,
+  asym-vs-stock deltas, a USL theoretical-vs-measured table whose
+  residuals are self-consistent, and the seed-panel variability
+  characterization;
+* ``sweep_from_payloads`` rebuilds a sweep losslessly from ``submit
+  --json-out`` payloads (the offline mode CI's perf-report job uses);
+* ``compare_to_baseline`` produces the ratio table the
+  ``--metrics-out`` embed and the bench section rely on;
+* ``tools/check_report_schema.py`` accepts the fixture and rejects
+  mutations of it;
+* the ``--metrics-out`` CLI path embeds the bench-baseline
+  comparison when the pin files exist.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf_report import (
+    REPORT_FORMAT,
+    build_report,
+    canonical_report_json,
+    compare_to_baseline,
+    generate_report_files,
+    golden_metadata,
+    render_markdown,
+    sweep_from_payloads,
+)
+from repro.service.cache import result_to_payload
+
+from tests.harness import (
+    GOLDEN_DIR,
+    GOLDEN_LEDGER_RECORDS,
+    golden_report_inputs,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    """The fixture sweeps, simulated once for the whole module."""
+    return golden_report_inputs()
+
+
+@pytest.fixture(scope="module")
+def report(sweeps):
+    stock, asym = sweeps
+    return build_report(
+        stock, asym,
+        ledger_records=GOLDEN_LEDGER_RECORDS,
+        golden=golden_metadata(str(GOLDEN_DIR), stock.workload))
+
+
+class TestGoldenFixture:
+    def test_json_matches_committed_fixture(self, report):
+        committed = (GOLDEN_DIR / "report_specjbb_quick.json") \
+            .read_text(encoding="utf-8")
+        assert canonical_report_json(report) == committed
+
+    def test_markdown_matches_committed_fixture(self, report):
+        committed = (GOLDEN_DIR / "report_specjbb_quick.md") \
+            .read_text(encoding="utf-8")
+        assert render_markdown(report) == committed
+
+
+class TestDeterminism:
+    def test_build_twice_is_byte_identical(self, sweeps):
+        stock, asym = sweeps
+        kwargs = dict(ledger_records=GOLDEN_LEDGER_RECORDS,
+                      golden=golden_metadata(str(GOLDEN_DIR),
+                                             stock.workload))
+        first = canonical_report_json(
+            build_report(stock, asym, **kwargs))
+        second = canonical_report_json(
+            build_report(stock, asym, **kwargs))
+        assert first == second
+
+    def test_render_twice_is_byte_identical(self, report):
+        assert render_markdown(report) == render_markdown(report)
+
+    def test_no_host_leaks(self, report):
+        """No absolute paths or host details in the payload."""
+        text = canonical_report_json(report)
+        assert "/tmp" not in text
+        assert str(ROOT) not in text
+
+
+class TestReportShape:
+    def test_acceptance_sections_present(self, report):
+        assert report["format"] == REPORT_FORMAT
+        assert report["workload"] == "SPECjbb"
+        for section in ("throughput", "deltas", "usl", "variability",
+                        "service", "seed_panel"):
+            assert section in report
+
+    def test_usl_residuals_are_consistent(self, report):
+        for scheduler in ("stock", "asym"):
+            table = report["usl"][scheduler]["table"]
+            assert len(table) == len(report["configs"])
+            for row in table:
+                assert row["measured"] - row["predicted"] == \
+                    pytest.approx(row["residual"], abs=1e-9)
+
+    def test_deltas_agree_with_throughput_means(self, report):
+        for label in report["configs"]:
+            delta = report["deltas"][label]
+            assert delta["stock"] == pytest.approx(
+                report["throughput"]["stock"][label]["mean"])
+            assert delta["asym"] == pytest.approx(
+                report["throughput"]["asym"][label]["mean"])
+            assert delta["speedup"] > 0
+
+    def test_variability_covs_nonnegative(self, report):
+        per_config = report["variability"]["per_config"]
+        for label in report["configs"]:
+            for scheduler in ("stock", "asym"):
+                assert per_config[label][scheduler]["cov"] >= 0
+
+    def test_variability_histogram_percentiles(self, report):
+        histograms = report["variability"]["histograms"]
+        for scheduler in ("stock", "asym"):
+            slices = histograms[scheduler]["slice_seconds"]
+            assert slices["count"] > 0
+            assert slices["p50_seconds"] <= slices["p95_seconds"] \
+                <= slices["p99_seconds"]
+
+    def test_service_section_summarizes_the_ledger(self, report):
+        service = report["service"]
+        assert service["records"] == len(GOLDEN_LEDGER_RECORDS)
+        assert service["by_request"]["sweep"] == 3
+        assert service["latency"]["queue_wait_seconds"]["count"] == 2
+
+    def test_config_mismatch_is_an_error(self, sweeps):
+        stock, asym = sweeps
+        import copy
+        truncated = copy.deepcopy(asym)
+        truncated.results.pop(next(iter(truncated.results)))
+        with pytest.raises(ValueError):
+            build_report(stock, truncated)
+
+
+class TestOfflinePayloads:
+    def test_sweep_from_payloads_round_trips(self, sweeps):
+        stock, _ = sweeps
+        payloads = [result_to_payload(result)
+                    for label in stock.results
+                    for result in stock.results[label]]
+        rebuilt = sweep_from_payloads("specjbb", payloads)
+        assert list(rebuilt.results) == list(stock.results)
+        assert rebuilt.means() == pytest.approx(stock.means())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_from_payloads("no-such-workload", [])
+
+    def test_one_sided_results_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_report_files(
+                "specjbb", str(tmp_path),
+                stock_results=str(tmp_path / "only.json"))
+
+
+class TestCompareToBaseline:
+    def test_ratio_table(self):
+        current = {"sim": {"seconds": 2.0, "events": 10},
+                   "label": "ignored"}
+        pinned = {"sim": {"seconds": 1.0, "events": 10},
+                  "extra": {"only_pinned": 3.0}}
+        table = compare_to_baseline(current, pinned)
+        assert table["sim.seconds"] == {
+            "current": 2.0, "pinned": 1.0, "ratio": 2.0}
+        assert table["sim.events"]["ratio"] == 1.0
+        assert "label" not in table  # strings are not metrics
+        assert "extra.only_pinned" not in table  # not shared
+
+    def test_nonpositive_pin_yields_null_ratio(self):
+        table = compare_to_baseline({"x": 1.0}, {"x": 0.0})
+        assert table["x"]["ratio"] is None
+
+
+class TestSchemaChecker:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_report_schema",
+            ROOT / "tools" / "check_report_schema.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_fixture_passes(self, checker, report):
+        payload = json.loads(canonical_report_json(report))
+        errors, census = checker.check_report(payload)
+        assert errors == []
+        assert "service" in census
+
+    def test_markdown_fixture_passes(self, checker, report):
+        assert checker.check_markdown(render_markdown(report)) == []
+
+    def test_mutations_rejected(self, checker, report):
+        payload = json.loads(canonical_report_json(report))
+        broken = json.loads(json.dumps(payload))
+        broken["usl"]["stock"]["table"][0]["residual"] += 1.0
+        errors, _ = checker.check_report(broken)
+        assert any("residual inconsistent" in e for e in errors)
+        missing = json.loads(json.dumps(payload))
+        del missing["variability"]
+        errors, _ = checker.check_report(missing)
+        assert errors
+
+    def test_missing_heading_rejected(self, checker):
+        errors = checker.check_markdown("# Performance report — x\n")
+        assert errors
+
+    def test_cli_on_committed_fixture(self, checker, capsys):
+        code = checker.main(
+            [str(GOLDEN_DIR / "report_specjbb_quick.json"),
+             str(GOLDEN_DIR / "report_specjbb_quick.md")])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestMetricsOutEmbed:
+    def _stub(self, monkeypatch):
+        from repro.experiments.figures import ALL_EXHIBITS
+
+        class StubExhibit:
+            """No-op exhibit: exercises only the sink plumbing."""
+            @staticmethod
+            def main(profile, jobs=0):
+                pass
+
+        monkeypatch.setitem(ALL_EXHIBITS, "stub-exhibit",
+                            StubExhibit)
+
+    def test_bench_comparison_embedded(self, tmp_path, monkeypatch,
+                                       capsys):
+        from repro.__main__ import main
+        self._stub(monkeypatch)
+        bench = tmp_path / "bench.json"
+        baseline = tmp_path / "baseline.json"
+        bench.write_text(json.dumps(
+            {"sim": {"seconds": 2.0}, "label": "head"}),
+            encoding="utf-8")
+        baseline.write_text(json.dumps({"sim": {"seconds": 1.0}}),
+                            encoding="utf-8")
+        out = tmp_path / "metrics.json"
+        assert main(["stub-exhibit", "--metrics-out", str(out),
+                     "--bench", str(bench),
+                     "--bench-baseline", str(baseline)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["format"] == 1
+        assert payload["records"] == []
+        comparison = payload["bench"]["comparison"]
+        assert comparison["sim.seconds"] == {
+            "current": 2.0, "pinned": 1.0, "ratio": 2.0}
+        assert "bench baseline comparison" in capsys.readouterr().out
+
+    def test_missing_baseline_omits_bench(self, tmp_path,
+                                          monkeypatch):
+        from repro.__main__ import main
+        self._stub(monkeypatch)
+        out = tmp_path / "metrics.json"
+        assert main(["stub-exhibit", "--metrics-out", str(out),
+                     "--bench-baseline",
+                     str(tmp_path / "nope.json")]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["format"] == 1
+        assert "bench" not in payload
+
+    def test_checkout_defaults_apply(self, tmp_path, monkeypatch):
+        """With no flags, the committed BENCH pin is compared."""
+        from repro.__main__ import main
+        self._stub(monkeypatch)
+        out = tmp_path / "metrics.json"
+        assert main(["stub-exhibit", "--metrics-out",
+                     str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert "bench" in payload
+        assert payload["bench"]["baseline_path"].endswith(
+            "BENCH_baseline.json")

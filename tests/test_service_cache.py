@@ -177,6 +177,111 @@ class TestDiskResultCache:
         assert cache.hits + cache.misses == cache.lookups
 
 
+class TestBoundedDiskTier:
+    """The disk tier's LRU bound (mirrors the memory front).
+
+    These tests always use ``tmp_path`` — never the shared
+    ``REPRO_SERVICE_CACHE_DIR`` drift directory, which must keep its
+    entries across CI steps.
+    """
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return result_to_payload(_run(_task()))
+
+    def test_entry_bound_evicts_oldest(self, tmp_path, payload):
+        cache = DiskResultCache(str(tmp_path), max_disk_entries=2)
+        for key in ("k0", "k1", "k2"):
+            cache.store_payload(key, payload)
+        assert len(cache) == 2
+        assert cache.disk_evictions == 1
+        assert cache.lookup_payload("k0") is None  # evicted
+        assert cache.lookup_payload("k1") is not None
+        assert cache.lookup_payload("k2") is not None
+
+    def test_lookup_promotes_against_eviction(self, tmp_path,
+                                              payload):
+        cache = DiskResultCache(str(tmp_path), max_disk_entries=2)
+        cache.store_payload("a", payload)
+        cache.store_payload("b", payload)
+        assert cache.lookup_payload("a") is not None  # promote a
+        cache.store_payload("c", payload)  # evicts b, not a
+        assert cache.lookup_payload("b") is None
+        assert cache.lookup_payload("a") is not None
+
+    def test_byte_bound_and_accounting(self, tmp_path, payload):
+        # Same-length keys: the stored entry embeds its fingerprint,
+        # so equal keys mean equal entry sizes.
+        cache = DiskResultCache(str(tmp_path))
+        cache.store_payload("k0", payload)
+        entry_bytes = cache.disk_bytes
+        assert entry_bytes > 0
+        cache.clear()
+
+        bounded = DiskResultCache(str(tmp_path),
+                                  max_disk_bytes=entry_bytes)
+        bounded.store_payload("k1", payload)
+        bounded.store_payload("k2", payload)
+        assert len(bounded) == 1
+        assert bounded.disk_bytes <= entry_bytes
+        assert bounded.disk_evictions == 1
+        assert bounded.counters.get(
+            "service.cache.disk_evicted_bytes") == entry_bytes
+        assert bounded.lookup_payload("k2") is not None
+
+    def test_just_stored_entry_is_never_the_victim(self, tmp_path,
+                                                   payload):
+        cache = DiskResultCache(str(tmp_path), max_disk_entries=1)
+        for key in ("x", "y", "z"):
+            cache.store_payload(key, payload)
+            assert cache.lookup_payload(key) is not None
+        assert len(cache) == 1
+
+    def test_reopen_applies_a_tighter_bound(self, tmp_path, payload):
+        unbounded = DiskResultCache(str(tmp_path))
+        for index in range(4):
+            unbounded.store_payload(f"k{index}", payload)
+        assert len(unbounded) == 4
+        reopened = DiskResultCache(str(tmp_path), max_disk_entries=2)
+        assert len(reopened) == 2
+        assert reopened.disk_evictions == 2
+
+    def test_eviction_drops_memory_front_too(self, tmp_path,
+                                             payload):
+        cache = DiskResultCache(str(tmp_path), max_disk_entries=1)
+        cache.store_payload("a", payload)
+        cache.store_payload("b", payload)
+        assert cache.lookup_payload("a") is None
+        assert cache.counters.get(
+            "service.cache.memory_hits") == 0
+
+    def test_stats_reports_bounds_and_occupancy(self, tmp_path,
+                                                payload):
+        cache = DiskResultCache(str(tmp_path), max_disk_entries=8,
+                                max_disk_bytes=1 << 20)
+        cache.store_payload("a", payload)
+        stats = cache.stats()
+        assert stats["disk_entries"] == 1
+        assert stats["disk_bytes"] == cache.disk_bytes > 0
+        assert stats["max_disk_entries"] == 8
+        assert stats["max_disk_bytes"] == 1 << 20
+        assert stats["memory_entries"] == 1
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskResultCache(str(tmp_path), max_disk_entries=0)
+        with pytest.raises(ValueError):
+            DiskResultCache(str(tmp_path), max_disk_bytes=0)
+
+    def test_unbounded_by_default(self, tmp_path, payload):
+        cache = DiskResultCache(str(tmp_path))
+        for index in range(6):
+            cache.store_payload(f"k{index}", payload)
+        assert len(cache) == 6
+        assert cache.disk_evictions == 0
+        assert cache.stats()["max_disk_entries"] is None
+
+
 class TestPersistentCacheDrift:
     """Cross-process cache identity: the CI drift leg's anchor.
 

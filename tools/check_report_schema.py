@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""Validate generated performance reports with only the stdlib.
+
+CI's perf-report job generates ``report_<workload>.{md,json}`` files
+and runs this checker over them, so a malformed report (a section a
+reader would find empty, inconsistent or non-finite) fails the build
+instead of shipping as an artifact::
+
+    python tools/check_report_schema.py report.json [report.md ...]
+
+JSON files are checked structurally:
+
+* top level carries the known ``format``, workload identity, configs,
+  a seed panel, and the throughput/deltas/usl/variability sections;
+* every statistic is a finite number; CoV and spread are >= 0;
+* each USL table row satisfies ``measured - predicted == residual``
+  (to float tolerance) and covers every config of the sweep;
+* the optional service section's censuses and latency entries are
+  well-formed.
+
+Markdown files are checked for the reader-facing section headings.
+Exit status: 0 when every file passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any, Dict, List, Tuple
+
+REPORT_FORMAT = 1
+
+REQUIRED_SECTIONS = ("format", "workload", "primary_metric",
+                     "higher_is_better", "configs", "seed_panel",
+                     "throughput", "deltas", "usl", "variability")
+
+SUMMARY_FIELDS = ("runs", "mean", "std", "min", "max", "cov",
+                  "spread")
+
+USL_ROW_FIELDS = ("config", "x", "measured", "predicted", "residual",
+                  "relative_residual")
+
+MARKDOWN_HEADINGS = ("# Performance report — ",
+                     "## Throughput",
+                     "## Asymmetric vs. stock scheduler",
+                     "## Theoretical vs. measured scaling (USL)",
+                     "## Run-to-run variability")
+
+
+def _is_number(value: Any) -> bool:
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value))
+
+
+def _check_summary(entry: Any, where: str,
+                   errors: List[str]) -> None:
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return
+    for name in SUMMARY_FIELDS:
+        if name == "runs":
+            if not isinstance(entry.get(name), int) \
+                    or entry.get(name) < 1:
+                errors.append(f"{where}.runs: must be a positive "
+                              "integer")
+        elif not _is_number(entry.get(name)):
+            errors.append(f"{where}.{name}: must be a finite number")
+    if _is_number(entry.get("cov")) and entry["cov"] < 0:
+        errors.append(f"{where}.cov: must be >= 0")
+    if _is_number(entry.get("spread")) and entry["spread"] < 0:
+        errors.append(f"{where}.spread: must be >= 0")
+
+
+def _check_usl(section: Any, configs: List[str], where: str,
+               errors: List[str]) -> None:
+    if not isinstance(section, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if "error" in section:
+        if not isinstance(section["error"], str):
+            errors.append(f"{where}.error: must be a string")
+        return
+    fit = section.get("fit")
+    if not isinstance(fit, dict):
+        errors.append(f"{where}.fit: missing")
+    else:
+        for name in ("gamma", "sigma", "kappa", "r_squared"):
+            if not _is_number(fit.get(name)):
+                errors.append(f"{where}.fit.{name}: must be a finite "
+                              "number")
+    table = section.get("table")
+    if not isinstance(table, list) or not table:
+        errors.append(f"{where}.table: must be a non-empty list")
+        return
+    covered = []
+    for index, row in enumerate(table):
+        row_where = f"{where}.table[{index}]"
+        if not isinstance(row, dict):
+            errors.append(f"{row_where}: not an object")
+            continue
+        for name in USL_ROW_FIELDS:
+            if name == "config":
+                if not isinstance(row.get(name), str):
+                    errors.append(f"{row_where}.config: must be a "
+                                  "string")
+            elif not _is_number(row.get(name)):
+                errors.append(f"{row_where}.{name}: must be a finite "
+                              "number")
+        covered.append(row.get("config"))
+        if all(_is_number(row.get(name))
+               for name in ("measured", "predicted", "residual")):
+            gap = row["measured"] - row["predicted"] - row["residual"]
+            scale = max(1.0, abs(row["measured"]))
+            if abs(gap) > 1e-6 * scale:
+                errors.append(
+                    f"{row_where}: residual inconsistent "
+                    f"(measured - predicted - residual = {gap:g})")
+    missing = [label for label in configs if label not in covered]
+    if missing:
+        errors.append(f"{where}.table: configs without a row: "
+                      f"{missing}")
+
+
+def _check_service(section: Any, where: str,
+                   errors: List[str]) -> None:
+    if not isinstance(section, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if not isinstance(section.get("records"), int):
+        errors.append(f"{where}.records: must be an integer")
+    for census in ("by_request", "by_outcome"):
+        table = section.get(census)
+        if not isinstance(table, dict) or not all(
+                isinstance(count, int) and count >= 0
+                for count in table.values()):
+            errors.append(f"{where}.{census}: must map names to "
+                          "non-negative integers")
+    latency = section.get("latency")
+    if not isinstance(latency, dict):
+        errors.append(f"{where}.latency: missing")
+        return
+    for name, entry in latency.items():
+        entry_where = f"{where}.latency.{name}"
+        if not isinstance(entry, dict):
+            errors.append(f"{entry_where}: not an object")
+            continue
+        if not isinstance(entry.get("count"), int):
+            errors.append(f"{entry_where}.count: must be an integer")
+        for field in ("mean_seconds", "p50_seconds", "p95_seconds",
+                      "p99_seconds"):
+            if not _is_number(entry.get(field)) or entry[field] < 0:
+                errors.append(f"{entry_where}.{field}: must be a "
+                              "finite number >= 0")
+
+
+def check_report(report: Any) -> Tuple[List[str], Dict[str, int]]:
+    """All schema violations plus a per-section presence census."""
+    errors: List[str] = []
+    census: Dict[str, int] = {}
+    if not isinstance(report, dict):
+        return ["top level: not a JSON object"], census
+    for name in REQUIRED_SECTIONS:
+        if name not in report:
+            errors.append(f"top level: missing section {name!r}")
+    if errors:
+        return errors, census
+    census = {name: 1 for name in report}
+    if report["format"] != REPORT_FORMAT:
+        errors.append(f"format: expected {REPORT_FORMAT}, "
+                      f"got {report['format']!r}")
+    configs = report["configs"]
+    if not isinstance(configs, list) or not configs:
+        errors.append("configs: must be a non-empty list")
+        configs = []
+    seeds = report["seed_panel"].get("seeds") \
+        if isinstance(report["seed_panel"], dict) else None
+    if not isinstance(seeds, list) or not seeds:
+        errors.append("seed_panel.seeds: must be a non-empty list")
+    for scheduler in ("stock", "asym"):
+        table = report["throughput"].get(scheduler) \
+            if isinstance(report["throughput"], dict) else None
+        if not isinstance(table, dict):
+            errors.append(f"throughput.{scheduler}: missing")
+            continue
+        for label in configs:
+            if label not in table:
+                errors.append(f"throughput.{scheduler}: no entry "
+                              f"for {label!r}")
+            else:
+                _check_summary(table[label],
+                               f"throughput.{scheduler}.{label}",
+                               errors)
+        _check_usl(report["usl"].get(scheduler), configs,
+                   f"usl.{scheduler}", errors)
+    deltas = report["deltas"]
+    if isinstance(deltas, dict):
+        for label in configs:
+            entry = deltas.get(label)
+            if not isinstance(entry, dict) or not all(
+                    _is_number(entry.get(name))
+                    for name in ("stock", "asym", "speedup")):
+                errors.append(f"deltas.{label}: needs finite "
+                              "stock/asym/speedup numbers")
+            elif entry["speedup"] <= 0:
+                errors.append(f"deltas.{label}.speedup: must be > 0")
+    else:
+        errors.append("deltas: not an object")
+    variability = report["variability"]
+    if isinstance(variability, dict):
+        per_config = variability.get("per_config")
+        if not isinstance(per_config, dict):
+            errors.append("variability.per_config: missing")
+        else:
+            for label in configs:
+                entry = per_config.get(label)
+                if not isinstance(entry, dict):
+                    errors.append(f"variability.per_config.{label}: "
+                                  "missing")
+                    continue
+                for scheduler in ("stock", "asym"):
+                    _check_summary(
+                        entry.get(scheduler),
+                        f"variability.per_config.{label}.{scheduler}",
+                        errors)
+    else:
+        errors.append("variability: not an object")
+    if "service" in report:
+        _check_service(report["service"], "service", errors)
+    return errors, census
+
+
+def check_markdown(text: str) -> List[str]:
+    """Reader-facing headings a rendered report must carry."""
+    return [f"missing heading {heading!r}"
+            for heading in MARKDOWN_HEADINGS if heading not in text]
+
+
+def check_file(path: str) -> bool:
+    if path.endswith(".md"):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}")
+            return False
+        errors = check_markdown(text)
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}")
+            print(f"{path}: FAIL ({len(errors)} violations)")
+            return False
+        print(f"{path}: ok ({len(text.splitlines())} lines)")
+        return True
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable: {exc}")
+        return False
+    errors, census = check_report(report)
+    if errors:
+        for error in errors[:20]:
+            print(f"{path}: {error}")
+        if len(errors) > 20:
+            print(f"{path}: ... and {len(errors) - 20} more")
+        print(f"{path}: FAIL ({len(errors)} violations)")
+        return False
+    shape = ", ".join(sorted(census))
+    print(f"{path}: ok (sections: {shape})")
+    return True
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {sys.argv[0]} REPORT.json [REPORT.md ...]")
+        return 2
+    return 0 if all([check_file(path) for path in argv]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Render per-workload performance reports (markdown + JSON).
+
+Thin launcher for :mod:`repro.analysis.perf_report` that works from a
+repository checkout without installing the package::
+
+    python tools/perf_report.py --workload specjbb --out-dir reports
+    python tools/perf_report.py --workload tpch \
+        --stock-results tpch-stock.json --asym-results tpch-asym.json \
+        --ledger ledger.jsonl --bench benchmarks/results/BENCH_engine.json \
+        --bench-baseline benchmarks/results/BENCH_baseline.json \
+        --golden-dir tests/golden --out-dir reports
+
+Generation is deterministic: the same sweeps, ledger file and bench
+files produce byte-identical reports (CI generates twice and cmp-s).
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.perf_report import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
