@@ -36,6 +36,12 @@ every check is hardware-independent:
   contention counts are compared exactly; drift means the lock
   layer's grant order or spin policy changed.
 
+* **OpenMP scheduling pins** — the per-policy loop-schedule benchmark
+  (``omp_scheduling``) is deterministic, so simulated makespans and
+  ``omp.*`` event counts are compared exactly per policy, and the
+  ``stealing`` schedule must stay >= 1.3x faster than ``static`` on
+  the asymmetric reference machine (DESIGN.md §14).
+
 The baseline defaults to the *committed* pin
 ``benchmarks/results/BENCH_baseline.json``, which only
 ``benchmarks/update_baseline.py`` may rewrite — never the benchmark
@@ -93,6 +99,15 @@ COALESCE_SPEEDUP_FLOOR = 3.0
 #: uncontended case because re-split bookkeeping is real work.
 CONTENDED_EVENT_REDUCTION_FLOOR = 5.0
 CONTENDED_SPEEDUP_FLOOR = 2.0
+
+#: Floor for the work-stealing loop schedule on the asymmetric
+#: reference machine (omp_scheduling, 2f-2s/8): ``stealing`` must
+#: finish the swim makespan at least this much faster than ``static``
+#: in *simulated* time.  Both policies run in the same benchmark, so
+#: the ratio is host-independent; the measured margin is ~4.3x.  The
+#: per-policy makespans and ``omp.*`` event counts are deterministic
+#: and pinned exactly against the baseline besides.
+OMP_STEALING_SPEEDUP_FLOOR = 1.3
 
 #: Floor for the scenario service's warm/cold ratio
 #: (service_throughput, benchmarks/test_service_throughput.py): a
@@ -258,6 +273,38 @@ def check(baseline: dict, fresh: dict,
                             f"{numbers[key]:.0f} vs baseline "
                             f"{pin[key]:.0f} — simulation behaviour "
                             "changed")
+
+    omp = fresh.get("omp_scheduling")
+    if omp is not None:
+        static = omp["policies"].get("static")
+        stealing = omp["policies"].get("stealing")
+        if static is not None and stealing is not None:
+            speedup = (static["makespan_seconds"]
+                       / stealing["makespan_seconds"])
+            print(f"omp scheduling ({omp['config']}): stealing "
+                  f"{speedup:.1f}x faster than static "
+                  f"({stealing['makespan_seconds']:.3f}s vs "
+                  f"{static['makespan_seconds']:.3f}s simulated)")
+            if speedup < OMP_STEALING_SPEEDUP_FLOOR:
+                failures.append(
+                    f"stealing schedule only {speedup:.2f}x faster "
+                    f"than static on {omp['config']} — below the "
+                    f"{OMP_STEALING_SPEEDUP_FLOOR:.1f}x floor")
+        pinned = baseline.get("omp_scheduling")
+        if pinned is not None:
+            # The per-policy runs are deterministic: simulated
+            # makespans and omp.* event counts must match exactly.
+            for policy, numbers in sorted(omp["policies"].items()):
+                pin = pinned["policies"].get(policy)
+                if pin is None:
+                    continue
+                for key in ("makespan_seconds", "chunks_dispatched",
+                            "steals", "steal_failures"):
+                    if pin[key] != numbers[key]:
+                        failures.append(
+                            f"omp_scheduling/{policy} {key} = "
+                            f"{numbers[key]} vs baseline {pin[key]} "
+                            "— simulation behaviour changed")
 
     service = fresh.get("service_throughput")
     if service is not None:

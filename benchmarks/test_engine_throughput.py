@@ -299,6 +299,46 @@ def test_lock_handoff_throughput(benchmark):
     }
 
 
+def test_omp_scheduling_throughput(benchmark):
+    """Per-policy makespan of the OpenMP loop runtime (DESIGN.md §14).
+
+    One swim run per ``LoopSchedule`` on the 2f-2s/8 reference
+    machine.  The simulated makespans and the ``omp.*`` event counts
+    are deterministic and pinned exactly by the regression guard; the
+    guard also enforces the PR's floor — ``stealing`` at least 1.3x
+    faster than ``static`` in simulated time (measured ~4.3x).  Wall
+    time per policy is recorded so scheduling-path slowdowns in the
+    *simulator* show up too.
+    """
+    from repro.workloads.specomp import OMP_SCHEDULES, SpecOmpBenchmark
+
+    def run_policy(policy):
+        return SpecOmpBenchmark(
+            "swim", omp_schedule=policy).run_once("2f-2s/8", seed=1)
+
+    policies = {}
+    for policy in OMP_SCHEDULES:
+        result = run_policy(policy)
+        counters = result.run_metrics.counters
+        steals = sum(value for name, value in counters.items()
+                     if name.startswith("omp.steals."))
+        best = _best_seconds(lambda p=policy: run_policy(p), repeats=3)
+        policies[policy] = {
+            "makespan_seconds": result.metrics["runtime"],
+            "chunks_dispatched": counters.get(
+                "omp.chunks_dispatched", 0.0),
+            "steals": steals,
+            "steal_failures": counters.get("omp.steal_failures", 0.0),
+            "best_seconds": best,
+        }
+    benchmark(lambda: run_policy("stealing"))
+    _MEASUREMENTS["omp_scheduling"] = {
+        "benchmark": "swim",
+        "config": "2f-2s/8",
+        "policies": policies,
+    }
+
+
 def test_runner_fanout_throughput(benchmark):
     """Wall time of a Runner sweep: serial vs. fanned-out workers.
 

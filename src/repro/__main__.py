@@ -50,15 +50,19 @@ def _cmd_list() -> int:
     return 0
 
 
-_SWEEP_WORKLOADS = ("specjbb", "tpch")
+_SWEEP_WORKLOADS = ("specjbb", "tpch", "specomp")
 
 
-def _sweep_workload(name: str, profile):
+def _sweep_workload(name: str, profile, omp_schedule: str = "all"):
     """Build the named workload at the profile's scale."""
     if name == "specjbb":
         from repro.workloads.specjbb import SpecJBB
         return SpecJBB(warehouses=profile.specjbb_warehouses,
                        measurement_seconds=profile.specjbb_measurement)
+    if name == "specomp":
+        from repro.workloads.specomp import SpecOmpBenchmark
+        schedule = None if omp_schedule == "all" else omp_schedule
+        return SpecOmpBenchmark("swim", omp_schedule=schedule)
     from repro.workloads.tpch.workload import TpchPowerRun
     return TpchPowerRun(parallel_degree=4, optimization_degree=7,
                         queries=list(profile.tpch_queries))
@@ -66,13 +70,30 @@ def _sweep_workload(name: str, profile):
 
 def _cmd_sweep(workload_name: str, profile_name: str, predict: bool,
                jobs: int = 0, spot_checks: int = 1,
-               tolerance: float = 0.10) -> int:
+               tolerance: float = 0.10,
+               omp_schedule: str = "all") -> int:
     """Run (or analytically predict) one workload's config sweep."""
     from repro.experiments.report import format_sweep, format_table
     from repro.experiments.runner import Runner
 
     profile = get_profile(profile_name)
-    workload = _sweep_workload(workload_name, profile)
+    if (workload_name == "specomp" and omp_schedule == "all"
+            and not predict):
+        # Per-policy comparison: one sweep per LoopSchedule, rendered
+        # as one mean column per policy (the fig13 layout).
+        from repro.workloads.specomp import (
+            OMP_SCHEDULES,
+            SpecOmpBenchmark,
+        )
+        runner = Runner(runs=profile.runs, jobs=jobs)
+        sweeps = {
+            policy: runner.run(
+                SpecOmpBenchmark("swim", omp_schedule=policy))
+            for policy in OMP_SCHEDULES
+        }
+        print(format_sweep(policies=sweeps))
+        return 0
+    workload = _sweep_workload(workload_name, profile, omp_schedule)
     runner = Runner(runs=profile.runs, jobs=jobs)
     if not predict:
         print(format_sweep(runner.run(workload)))
@@ -108,7 +129,7 @@ def _cmd_sweep(workload_name: str, profile_name: str, predict: bool,
     return 0
 
 
-_SERVICE_WORKLOADS = ("specjbb", "tpch", "lockstress")
+_SERVICE_WORKLOADS = ("specjbb", "tpch", "lockstress", "specomp")
 
 
 def _cmd_serve(args) -> int:
@@ -441,7 +462,7 @@ def main(argv=None) -> int:
         description="Regenerate exhibits of the ISCA 2005 asymmetry "
                     "paper reproduction.")
     parser.add_argument("exhibit",
-                        help="exhibit name (fig01..fig12, table1), "
+                        help="exhibit name (fig01..fig13, table1), "
                              "'all', 'list', 'validate', 'sweep' "
                              "(one workload's config sweep; see "
                              "--workload/--predict), 'serve' (run "
@@ -455,6 +476,14 @@ def main(argv=None) -> int:
                         help="workload for the 'sweep' and 'submit' "
                              "commands (default: specjbb; "
                              "'lockstress' is submit-only)")
+    parser.add_argument("--omp-schedule", default="all",
+                        choices=("static", "dynamic", "guided",
+                                 "static_weighted", "stealing", "all"),
+                        help="with 'sweep --workload specomp': loop "
+                             "schedule forced onto every parallel "
+                             "loop; 'all' (default) sweeps every "
+                             "policy and renders one column per "
+                             "schedule")
     parser.add_argument("--predict", action="store_true",
                         help="with 'sweep': simulate only the USL "
                              "anchor configurations and interpolate "
@@ -629,10 +658,15 @@ def main(argv=None) -> int:
             parser.error(
                 f"--workload {args.workload} is service-only; "
                 f"'sweep' supports {', '.join(_SWEEP_WORKLOADS)}")
+        if args.predict and args.workload == "specomp" \
+                and args.omp_schedule == "all":
+            parser.error("--predict fits one schedule at a time; "
+                         "pick one with --omp-schedule")
         return _cmd_sweep(args.workload, args.profile, args.predict,
                           jobs=args.jobs,
                           spot_checks=args.spot_checks,
-                          tolerance=args.tolerance)
+                          tolerance=args.tolerance,
+                          omp_schedule=args.omp_schedule)
     default_bench, default_baseline = _default_bench_paths()
     return _cmd_exhibit(args.exhibit, args.profile, args.jobs,
                         metrics_out=args.metrics_out,

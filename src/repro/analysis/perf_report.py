@@ -119,6 +119,25 @@ def usl_section(sweep: ConfigSweep) -> Dict[str, Any]:
     }
 
 
+def policy_section(policy_sweeps: "Dict[str, ConfigSweep]",
+                   ) -> Dict[str, Any]:
+    """Per-`LoopSchedule` scaling: config means + a USL fit each.
+
+    The input maps policy name to one sweep per loop schedule (fig13's
+    shape); the section carries each policy's per-configuration means
+    and its own theoretical-vs-measured USL fit, so the report shows
+    which scheduling policy the fitted σ/κ contention terms blame for
+    the asymmetric-machine stragglers.
+    """
+    return {
+        policy: {
+            "means": sweep.means(),
+            "usl": usl_section(sweep),
+        }
+        for policy, sweep in policy_sweeps.items()
+    }
+
+
 def variability_section(stock: ConfigSweep,
                         asym: ConfigSweep) -> Dict[str, Any]:
     """Seed-panel variability: per-config CoV + histogram percentiles."""
@@ -218,6 +237,7 @@ def build_report(stock: ConfigSweep, asym: ConfigSweep, *,
                  bench_current: Optional[Dict[str, Any]] = None,
                  bench_baseline: Optional[Dict[str, Any]] = None,
                  golden: Optional[List[Dict[str, Any]]] = None,
+                 policies: Optional["Dict[str, ConfigSweep]"] = None,
                  ) -> Dict[str, Any]:
     """The JSON report payload — a pure function of its inputs."""
     from repro.service.ledger import summarize_ledger
@@ -260,6 +280,8 @@ def build_report(stock: ConfigSweep, asym: ConfigSweep, *,
                 "asym": usl_section(asym)},
         "variability": variability_section(stock, asym),
     }
+    if policies is not None:
+        report["omp_policies"] = policy_section(policies)
     if ledger_records is not None:
         report["service"] = summarize_ledger(ledger_records)
     if bench_current is not None and bench_baseline is not None:
@@ -349,6 +371,37 @@ def render_markdown(report: Dict[str, Any]) -> str:
                 for row in section["table"]]
         lines += _md_table(["config", "x", "measured", "predicted",
                             "residual", "relative"], rows)
+        lines.append("")
+
+    omp_policies = report.get("omp_policies")
+    if omp_policies is not None:
+        lines += ["## Loop-schedule comparison", "",
+                  "Per-policy scaling of the OpenMP runtime "
+                  "(DESIGN.md §14): mean primary metric per "
+                  "configuration, one column per `LoopSchedule`, "
+                  "then each policy's USL fit.", ""]
+        policy_labels = list(next(iter(
+            omp_policies.values()))["means"])
+        rows = [[f"`{label}`"]
+                + [f"{entry['means'][label]:.2f}"
+                   for entry in omp_policies.values()]
+                for label in policy_labels]
+        lines += _md_table(["config"] + list(omp_policies), rows)
+        lines.append("")
+        fit_rows = []
+        for policy, entry in omp_policies.items():
+            usl = entry["usl"]
+            if "error" in usl:
+                fit_rows.append([policy, "-", "-", "-",
+                                 f"no fit: {usl['error']}"])
+                continue
+            fit = usl["fit"]
+            fit_rows.append([
+                policy, f"{fit['sigma']:.4g}", f"{fit['kappa']:.4g}",
+                f"{fit['r_squared']:.4f}",
+                "yes" if fit["physical"] else "no"])
+        lines += _md_table(["policy", "sigma", "kappa", "R²",
+                            "physical"], fit_rows)
         lines.append("")
 
     lines += ["## Run-to-run variability", "",
@@ -512,6 +565,7 @@ def generate_report_files(workload_name: str, out_dir: str, *,
     if (stock_results is None) != (asym_results is None):
         raise ValueError("pass both --stock-results and "
                          "--asym-results, or neither")
+    policies: Optional[Dict[str, Any]] = None
     if stock_results is not None and asym_results is not None:
         stock = sweep_from_payloads(
             workload_name, load_results_file(stock_results))
@@ -527,6 +581,16 @@ def generate_report_files(workload_name: str, out_dir: str, *,
         stock = Runner(**kwargs).run(workload)
         asym = Runner(scheduler_factory=AsymmetryAwareScheduler,
                       **kwargs).run(workload)
+        if workload_name == "specomp":
+            # One extra sweep per loop schedule (stock scheduler):
+            # the report's per-policy scaling table.
+            from repro.workloads.specomp import OMP_SCHEDULES
+            policy_params = dict(params or {})
+            policies = {}
+            for policy in OMP_SCHEDULES:
+                policy_params["omp_schedule"] = policy
+                policies[policy] = Runner(**kwargs).run(
+                    build_workload(workload_name, policy_params))
 
     ledger_records = None
     if ledger_path is not None and os.path.exists(ledger_path):
@@ -538,7 +602,8 @@ def generate_report_files(workload_name: str, out_dir: str, *,
         ledger_records=ledger_records,
         bench_current=_load_json(bench_path),
         bench_baseline=_load_json(bench_baseline_path),
-        golden=golden)
+        golden=golden,
+        policies=policies)
 
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)

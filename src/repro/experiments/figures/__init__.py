@@ -18,6 +18,7 @@ from repro.experiments.figures import (  # noqa: F401
     fig10_summary,
     fig11_dynamic_asym,
     fig12_locks,
+    fig13_omp_scheduling,
     table1_summary,
 )
 
@@ -34,6 +35,7 @@ ALL_EXHIBITS = {
     "fig10": fig10_summary,
     "fig11": fig11_dynamic_asym,
     "fig12": fig12_locks,
+    "fig13": fig13_omp_scheduling,
     "table1": table1_summary,
 }
 

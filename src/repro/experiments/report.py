@@ -25,11 +25,37 @@ def format_table(headers: Sequence[str],
     return "\n".join(lines)
 
 
-def format_sweep(sweep: ConfigSweep, metric: Optional[str] = None,
-                 unit: str = "") -> str:
-    """One row per configuration: mean, spread (error bar), CoV."""
+def format_sweep(sweep: Optional[ConfigSweep] = None,
+                 metric: Optional[str] = None,
+                 unit: str = "",
+                 policies: Optional[Dict[str, ConfigSweep]] = None) -> str:
+    """One row per configuration: mean, spread (error bar), CoV.
+
+    With ``policies`` (an ordered mapping of policy name to sweep, e.g.
+    one :class:`ConfigSweep` per ``LoopSchedule``), renders a
+    comparison instead: one row per configuration, one mean column per
+    policy — the layout fig13 and ``python -m repro report`` use for
+    the loop-schedule table.
+    """
+    if policies is not None:
+        if not policies:
+            return "(no data)"
+        some = next(iter(policies.values()))
+        metric = metric or some.primary_metric
+        rows = []
+        for label in some.configs:
+            row = [label]
+            for policy_sweep in policies.values():
+                summary = policy_sweep.summary(label, metric)
+                row.append(f"{summary.mean:.2f}{unit}")
+            rows.append(row)
+        title = f"{some.workload} — {metric} by schedule"
+        table = format_table(["config"] + list(policies), rows)
+        return f"{title}\n{table}"
+    if sweep is None:
+        raise ValueError("format_sweep needs a sweep or a policies map")
     metric = metric or sweep.primary_metric
-    rows: List[List[str]] = []
+    rows = []
     for label in sweep.configs:
         summary = sweep.summary(label, metric)
         rows.append([

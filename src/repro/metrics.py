@@ -295,6 +295,22 @@ class RunMetrics:
                 errors.append(
                     f"lock.spin_cycles {spin_cycles!r} exceeds total "
                     f"busy cycles {busy_cycles!r}")
+        # The OpenMP runtime's scheduling overheads obey the same
+        # bound: dispatch grabs, steal-check bursts and straggler tails
+        # are cycles retired on cores, never bookkeeping inventions.
+        for name in ("omp.dispatch_cycles", "omp.steal_cycles",
+                     "omp.straggler_cycles"):
+            omp_cycles = self.counters.get(name)
+            if omp_cycles is None:
+                continue
+            busy_cycles = self.total_busy_cycles
+            cycle_slack = rtol * max(busy_cycles, 1.0) + atol
+            if omp_cycles < 0:
+                errors.append(f"{name} is negative: {omp_cycles!r}")
+            elif omp_cycles > busy_cycles + cycle_slack:
+                errors.append(
+                    f"{name} {omp_cycles!r} exceeds total busy "
+                    f"cycles {busy_cycles!r}")
         # Coalescing bookkeeping: every armed macro slice must be
         # settled exactly once — completed, split, absorbed, degraded
         # through the defensive fallback, or still live at snapshot

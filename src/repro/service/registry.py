@@ -15,6 +15,12 @@ from repro.runtime.jvm import GCKind
 from repro.workloads.base import SchedulerFactory, Workload
 from repro.workloads.lockstress import LockStress
 from repro.workloads.specjbb import SpecJBB
+from repro.workloads.specomp import (
+    BENCHMARK_NAMES,
+    OMP_SCHEDULES,
+    VARIANTS,
+    SpecOmpBenchmark,
+)
 from repro.workloads.tpch.workload import TpchPowerRun
 
 
@@ -52,6 +58,28 @@ def _int_list(value: Any) -> List[int]:
     return [_int(item) for item in value]
 
 
+def _bool(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _choice(options: Tuple[str, ...]) -> Callable[[Any], str]:
+    """A string converter restricted to a fixed vocabulary.
+
+    Constructors raise :class:`repro.errors.WorkloadError` on bad
+    values, which the protocol layer does not translate — validating
+    here keeps malformed requests on the structured-rejection path.
+    """
+    def convert(value: Any) -> str:
+        name = _str(value)
+        if name not in options:
+            raise ValueError(
+                f"expected one of {sorted(options)}, got {name!r}")
+        return name
+    return convert
+
+
 #: workload name -> (constructor, {param name -> converter}).  The
 #: whitelist is the service's public parameter surface; anything not
 #: listed is rejected at validation time.
@@ -72,6 +100,13 @@ WORKLOADS: Dict[str, Tuple[Callable[..., Workload],
         "queries": _int_list,
         "lock_kind": _str,
         "latch_cycles": _float,
+    }),
+    "specomp": (SpecOmpBenchmark, {
+        "benchmark": _choice(tuple(BENCHMARK_NAMES)),
+        "variant": _choice(VARIANTS),
+        "pin": _bool,
+        "omp_schedule": _choice(OMP_SCHEDULES),
+        "omp_chunk": _int,
     }),
     "lockstress": (LockStress, {
         "n_threads": _int,

@@ -10,6 +10,7 @@ from repro.workloads.specomp.specs import (
     spec_for,
 )
 from repro.workloads.specomp.workload import (
+    OMP_SCHEDULES,
     VARIANTS,
     SpecOmpBenchmark,
     suite,
@@ -24,6 +25,7 @@ __all__ = [
     "build_program",
     "build_modified_program",
     "SpecOmpBenchmark",
+    "OMP_SCHEDULES",
     "VARIANTS",
     "suite",
 ]

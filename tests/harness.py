@@ -51,6 +51,7 @@ from repro.sim import trace as _trace
 from repro.sim.trace import FLIGHT_RECORDER_CAPACITY, TraceRecord, Tracer
 from repro.workloads.lockstress import LockStress
 from repro.workloads.specjbb import SpecJBB
+from repro.workloads.specomp import SpecOmpBenchmark
 from repro.workloads.tpch.workload import TpchQuery
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
@@ -381,6 +382,32 @@ def _golden_lock_storm() -> Dict[str, Any]:
     }
 
 
+def _golden_specomp_stealing() -> Dict[str, Any]:
+    """Work-stealing OpenMP loops under a throttle storm.
+
+    Swim with every loop forced onto the stealing schedule
+    (DESIGN.md §14), on the asymmetric machine with transient
+    throttles reprogramming duty cycles mid-loop: the fixture pins the
+    deque partitioning, victim selection, steal-burst cycle books and
+    straggler accounting against the fault machinery, byte-exactly.
+    """
+    workload = SpecOmpBenchmark("swim",
+                                omp_schedule="stealing").with_faults(
+        FaultSchedule.throttle_storm(
+            seed=5, duration=2.0, cores=range(4),
+            events_per_second=25.0, recovery_mean=0.02))
+    result = _traced_run_once("specomp_stealing_2f-2s_seed5", workload,
+                              "2f-2s/8", seed=5)
+    return {
+        "kind": "run",
+        "workload": result.workload,
+        "config": result.config,
+        "seed": result.seed,
+        "metrics": dict(result.metrics),
+        "run_metrics": result.run_metrics.as_dict(),
+    }
+
+
 #: name -> zero-argument callable producing the canonical payload.
 GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "specjbb_2f-2s_stock_seed42": _golden_specjbb,
@@ -388,6 +415,7 @@ GOLDEN_RUNS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "sched_trace_1f-3s_asym_seed11": _golden_sched_trace,
     "fault_storm_2f-2s_seed5": _golden_fault_storm,
     "lock_storm_2f-2s_seed5": _golden_lock_storm,
+    "specomp_stealing_2f-2s_seed5": _golden_specomp_stealing,
 }
 
 

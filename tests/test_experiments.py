@@ -90,6 +90,23 @@ class TestReport:
         assert "4f-0s" in text
         assert "CoV" in text
 
+    def test_format_sweep_policy_columns(self):
+        runner = Runner(configs=["4f-0s", "2f-2s/8"], runs=1)
+        sweeps = {
+            policy: runner.run(
+                SpecOmpBenchmark("swim", omp_schedule=policy))
+            for policy in ("static", "stealing")
+        }
+        text = format_sweep(policies=sweeps)
+        assert "static" in text and "stealing" in text
+        assert "2f-2s/8" in text
+        assert "by schedule" in text
+
+    def test_format_sweep_requires_input(self):
+        with pytest.raises(ValueError):
+            format_sweep()
+        assert "no data" in format_sweep(policies={})
+
     def test_format_speedups_empty(self):
         assert "no data" in format_speedups({})
 
@@ -100,10 +117,10 @@ class TestReport:
 
 
 class TestExhibitRegistry:
-    def test_all_thirteen_exhibits_present(self):
+    def test_all_fourteen_exhibits_present(self):
         expected = {"fig01", "fig02", "fig03", "fig04", "fig05",
                     "fig06", "fig07", "fig08", "fig09", "fig10",
-                    "fig11", "fig12", "table1"}
+                    "fig11", "fig12", "fig13", "table1"}
         assert set(ALL_EXHIBITS) == expected
 
     def test_every_exhibit_has_run_and_render(self):

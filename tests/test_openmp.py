@@ -4,7 +4,9 @@ import pytest
 
 from repro import System
 from repro.errors import WorkloadError
+from repro.faults import FaultSchedule, ThrottleEvent
 from repro.runtime.openmp import (
+    DEFAULT_STEAL_CHECK_CYCLES,
     Loop,
     LoopSchedule,
     OmpProgram,
@@ -225,6 +227,168 @@ class TestSerialSections:
             ])
             return team.execute(program)
         assert run(True) < run(False)
+
+
+class TestStaticWeighted:
+    def test_matches_static_on_symmetric_machine(self):
+        program = OmpProgram([Loop(8, ITER_SECOND / 4)])
+        _, static_team = team_for("4f-0s", seed=1)
+        _, weighted_team = team_for("4f-0s", seed=1)
+        static = static_team.execute(
+            program.with_schedule(LoopSchedule.STATIC))
+        weighted = weighted_team.execute(
+            program.with_schedule(LoopSchedule.STATIC_WEIGHTED))
+        assert weighted == pytest.approx(static, rel=1e-9)
+
+    def test_split_proportional_to_speed(self):
+        # 2f-2s/8 (rates 1, 1, 1/8, 1/8): of 36 iterations the fast
+        # threads get 16 each and the slow threads 2 each, so every
+        # member finishes its share in the same wall time.
+        system, team = team_for("2f-2s/8")
+        program = OmpProgram([
+            Loop(36, ITER_SECOND / 16,
+                 schedule=LoopSchedule.STATIC_WEIGHTED)])
+        elapsed = team.execute(program)
+        assert elapsed == pytest.approx(1.0, rel=1e-6)
+
+    def test_rereads_speed_at_loop_entry(self):
+        # A permanent throttle landing between two loops changes the
+        # second loop's split: with core 0 slowed to 1/8 the fast
+        # share moves to cores 1..3.
+        def run(throttled):
+            system, team = team_for("4f-0s", seed=1)
+            if throttled:
+                FaultSchedule([ThrottleEvent(
+                    time=0.0, core=0,
+                    duty_cycle=1 / 8)]).install(system)
+            program = OmpProgram([
+                Loop(32, ITER_SECOND / 8,
+                     schedule=LoopSchedule.STATIC_WEIGHTED)])
+            return team.execute(program)
+        clean = run(False)
+        throttled = run(True)
+        # Weighted split adapts: runtime grows by ~(32/31)*4/3, far
+        # less than the 8x collapse an equal split would suffer.
+        assert throttled < 2.0 * clean
+
+    def test_straggler_cycles_counter_small(self):
+        system, team = team_for("2f-2s/8")
+        program = OmpProgram([
+            Loop(36, ITER_SECOND / 16,
+                 schedule=LoopSchedule.STATIC_WEIGHTED)])
+        team.execute(program)
+        straggler = system.counters.get("omp.straggler_cycles")
+        # The proportional split leaves no straggler tail here.
+        assert straggler < ITER_SECOND / 100
+
+
+class TestStealing:
+    def test_beats_static_on_asymmetric(self):
+        program = OmpProgram([Loop(64, ITER_SECOND / 8)])
+        _, static_team = team_for("2f-2s/8", seed=1)
+        static = static_team.execute(program)
+        _, stealing_team = team_for("2f-2s/8", seed=1)
+        stealing = stealing_team.execute(
+            program.with_schedule(LoopSchedule.STEALING))
+        assert stealing < 0.5 * static
+
+    def test_steal_attempts_pay_cycles(self):
+        # Unbalanced callable loop: all the work sits in thread 0's
+        # range, so every other thread must steal to contribute.
+        system, team = team_for("4f-0s", seed=1)
+        program = OmpProgram([
+            Loop(64, lambda i: ITER_SECOND / 8 if i < 16 else 1.0,
+                 schedule=LoopSchedule.STEALING, chunk=2)])
+        team.execute(program)
+        counters = system.counters.as_dict()
+        steals = sum(value for name, value in counters.items()
+                     if name.startswith("omp.steals."))
+        assert steals > 0
+        attempts = steals + counters.get("omp.steal_failures", 0.0)
+        assert counters["omp.steal_cycles"] == pytest.approx(
+            attempts * DEFAULT_STEAL_CHECK_CYCLES)
+
+    def test_fast_thieves_prefer_slow_victims(self):
+        # Under a throttle storm the entry-time split goes stale and
+        # fast cores drain the slowed members' deques.
+        system, team = team_for("2f-2s/8", seed=1)
+        FaultSchedule.throttle_storm(
+            seed=3, duration=2.0, cores=range(4),
+            events_per_second=25.0,
+            recovery_mean=0.02).install(system)
+        program = OmpProgram([
+            Loop(96, ITER_SECOND / 24,
+                 schedule=LoopSchedule.STEALING, chunk=1)])
+        team.execute(program)
+        counters = system.counters.as_dict()
+        fast_from_slow = counters.get("omp.steals.fast_from_slow", 0.0)
+        slow_from_fast = counters.get("omp.steals.slow_from_fast", 0.0)
+        assert fast_from_slow + slow_from_fast + counters.get(
+            "omp.steals.same_class", 0.0) > 0
+        assert fast_from_slow >= slow_from_fast
+
+    def test_explicit_chunk_respected(self):
+        system, team = team_for("4f-0s")
+        program = OmpProgram([
+            Loop(32, ITER_SECOND / 100,
+                 schedule=LoopSchedule.STEALING, chunk=4)])
+        team.execute(program)
+        assert system.counters.get("omp.chunks_dispatched") == 8.0
+
+    def test_zero_iteration_loop_is_instant(self):
+        system, team = team_for("2f-2s/8")
+        elapsed = team.execute(OmpProgram([
+            Loop(0, ITER_SECOND, schedule=LoopSchedule.STEALING)]))
+        assert elapsed == pytest.approx(0.0)
+
+
+class TestDispatchAccounting:
+    def test_dispatch_cycles_booked_per_grab(self):
+        system = System.build("4f-0s")
+        team = OmpTeam(system, dispatch_overhead_cycles=1000.0,
+                       fork_overhead_cycles=0.0)
+        program = OmpProgram([
+            Loop(40, ITER_SECOND / 1000,
+                 schedule=LoopSchedule.DYNAMIC, chunk=1)])
+        team.execute(program)
+        assert system.counters.get("omp.chunks_dispatched") == 40.0
+        assert system.counters.get("omp.dispatch_cycles") == \
+            pytest.approx(40 * 1000.0)
+
+    def test_zero_overhead_books_no_dispatch_cycles(self):
+        system, team = team_for("4f-0s")
+        program = OmpProgram([
+            Loop(8, ITER_SECOND / 100,
+                 schedule=LoopSchedule.DYNAMIC, chunk=1)])
+        team.execute(program)
+        assert "omp.dispatch_cycles" not in system.counters.as_dict()
+
+    def test_dispatch_cycles_conserved(self):
+        from tests.harness import assert_conservation
+        system = System.build("2f-2s/8")
+        team = OmpTeam(system)
+        program = OmpProgram([
+            Loop(64, ITER_SECOND / 32,
+                 schedule=LoopSchedule.GUIDED)])
+        team.execute(program)
+        assert system.counters.get("omp.dispatch_cycles") > 0
+        assert_conservation(system.run_metrics())
+
+
+class TestFig13Recovery:
+    def test_stealing_recovers_static_asymmetry_gap(self):
+        # The PR's acceptance bar, on a trimmed fig13 sweep: stealing
+        # wins back >= 70% of the symmetric-vs-asymmetric makespan gap
+        # static leaves on 2f-2s/8 (measured: ~89%).
+        from repro.experiments.figures import fig13_omp_scheduling
+
+        data = fig13_omp_scheduling.run(
+            configs=("4f-0s", "2f-2s/8"),
+            policies=("static", "stealing"), runs=1)
+        recovery = fig13_omp_scheduling.recovered_fraction(data)
+        assert recovery >= fig13_omp_scheduling.RECOVERY_BAR
+        assert fig13_omp_scheduling.recovered_fraction(
+            data, mode="storm") > 0.5
 
 
 class TestTeamConfiguration:

@@ -152,6 +152,37 @@ class TestReportShape:
             build_report(stock, truncated)
 
 
+class TestPolicySection:
+    @pytest.fixture(scope="class")
+    def policy_report(self, sweeps):
+        from repro.experiments import Runner
+        from repro.workloads import SpecOmpBenchmark
+
+        runner = Runner(configs=("4f-0s", "2f-2s/8"), runs=1)
+        policies = {
+            policy: runner.run(
+                SpecOmpBenchmark("swim", omp_schedule=policy))
+            for policy in ("static", "stealing")
+        }
+        stock, asym = sweeps
+        return build_report(stock, asym, policies=policies)
+
+    def test_omp_policies_section_present(self, policy_report):
+        section = policy_report["omp_policies"]
+        assert set(section) == {"static", "stealing"}
+        for entry in section.values():
+            assert "2f-2s/8" in entry["means"]
+            assert "usl" in entry
+
+    def test_markdown_renders_schedule_comparison(self, policy_report):
+        text = render_markdown(policy_report)
+        assert "## Loop-schedule comparison" in text
+        assert "stealing" in text
+
+    def test_absent_without_policies(self, report):
+        assert "omp_policies" not in report
+
+
 class TestOfflinePayloads:
     def test_sweep_from_payloads_round_trips(self, sweeps):
         stock, _ = sweeps
